@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one 'artifact' of the paper (a claim, the
+figure, or the prose comparison table) and emits an ASCII table.  Tables
+are printed (visible with ``pytest -s``) and always written to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can reference
+stable outputs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Fixture: ``record_table(experiment_id, text)`` persists + prints."""
+
+    def _record(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}", file=sys.stderr)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

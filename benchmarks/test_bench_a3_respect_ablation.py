@@ -1,0 +1,66 @@
+"""A3 — ablation: 1-respecting vs 2-respecting reductions.
+
+The paper reduces to 1-respecting cuts (simpler distributed step);
+Karger's original framework uses 2-respecting cuts, which smaller
+packings satisfy.  This ablation measures, per planted λ, the first
+packing-tree index at which each reduction can see the minimum cut —
+quantifying the trees-vs-step-complexity trade-off the paper makes.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.baselines import stoer_wagner_min_cut
+from repro.core import (
+    one_respecting_min_cut_reference,
+    two_respecting_min_cut_reference,
+)
+from repro.graphs import planted_cut_graph
+from repro.packing import GreedyTreePacking
+
+LAMBDAS = (2, 3, 4, 5, 6)
+SIDES = (13, 13)
+MAX_TREES = 48
+
+
+def _first_hit(values, truth):
+    for index, value in enumerate(values, start=1):
+        if abs(value - truth) < 1e-9:
+            return index
+    return None
+
+
+def _experiment():
+    rows = []
+    for lam in LAMBDAS:
+        graph = planted_cut_graph(SIDES, lam, seed=lam * 7)
+        truth = stoer_wagner_min_cut(graph).value
+        packing = GreedyTreePacking(graph)
+        one_values, two_values = [], []
+        for tree in packing.grow_to(MAX_TREES):
+            one_values.append(one_respecting_min_cut_reference(graph, tree).best_value)
+            two_values.append(two_respecting_min_cut_reference(graph, tree).best_value)
+        first_one = _first_hit(one_values, truth)
+        first_two = _first_hit(two_values, truth)
+        rows.append([lam, truth, first_one, first_two])
+    return rows
+
+
+def test_a3_respect_ablation(benchmark, record_table):
+    rows = run_once(benchmark, _experiment)
+    table = format_table(
+        ["λ", "min cut", "first tree (1-respect)", "first tree (2-respect)"],
+        rows,
+        title=(
+            "A3 — packing trees needed: 1-respecting (this paper) vs "
+            "2-respecting (Karger)\n2-respect sees the cut no later; the "
+            "paper trades extra trees for a simpler distributed step"
+        ),
+    )
+    record_table("A3_respect_ablation", table)
+
+    for _lam, _truth, first_one, first_two in rows:
+        assert first_one is not None and first_two is not None
+        # A cut 1-respecting a tree also 2-respects it, so the
+        # 2-respecting reduction can never need more trees.
+        assert first_two <= first_one

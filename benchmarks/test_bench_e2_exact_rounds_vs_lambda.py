@@ -1,0 +1,81 @@
+"""E2 — exact min cut in O~((√n + D)·poly(λ)) rounds.
+
+Paper claim ("Our Results"): the exact algorithm costs O~((√n + D)
+poly(λ)) — the λ-dependence enters only through the number of packing
+trees, each of which costs one Theorem 2.1 run of O~(√n + D).
+
+Regenerated series: on planted-cut instances with λ = 1..6 (constant n
+and D), run the exact congest-mode algorithm and report λ, trees packed,
+the winning tree's index, total accounted rounds, and the per-tree cost
+normalised by (√n + D).  Shape to match: exactness at every λ, and a
+normalised per-tree cost that is flat in λ — the whole λ-dependence
+lives in the tree count, exactly as the bound states.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.baselines import stoer_wagner_min_cut
+from repro.graphs import diameter, planted_cut_graph
+from repro.mincut import minimum_cut_exact
+
+SIDES = (24, 24)
+LAMBDAS = (1, 2, 3, 4, 5, 6)
+
+
+def _experiment():
+    rows = []
+    normalised_costs = []
+    for lam in LAMBDAS:
+        graph = planted_cut_graph(SIDES, lam, seed=lam * 5)
+        truth = stoer_wagner_min_cut(graph).value
+        exact = minimum_cut_exact(graph, mode="congest")
+        assert exact.value == truth, (lam, exact.value, truth)
+        n = graph.number_of_nodes
+        d = diameter(graph)
+        total = exact.metrics.total_rounds
+        per_tree = total / exact.trees_used
+        normalised = per_tree / (math.sqrt(n) + d)
+        normalised_costs.append(normalised)
+        rows.append(
+            [
+                lam,
+                truth,
+                exact.trees_used,
+                exact.tree_index,
+                total,
+                round(per_tree, 1),
+                round(normalised, 2),
+            ]
+        )
+    return rows, normalised_costs
+
+
+def test_e2_exact_rounds_vs_lambda(benchmark, record_table):
+    rows, normalised_costs = run_once(benchmark, _experiment)
+    table = format_table(
+        [
+            "λ",
+            "min cut",
+            "trees packed",
+            "winning tree",
+            "total rounds",
+            "rounds/tree",
+            "per-tree / (sqrt(n)+D)",
+        ],
+        rows,
+        title=(
+            "E2 — exact min cut via tree packing (planted family, n=48)\n"
+            "paper: O~((sqrt(n)+D)·poly(λ)); per-tree cost flat, "
+            "λ enters via the tree count"
+        ),
+    )
+    record_table("E2_exact_rounds_vs_lambda", table)
+
+    # Per-tree cost normalised by (sqrt(n)+D) is flat in λ.
+    assert max(normalised_costs) <= 2.0 * min(normalised_costs)
+    # Exactness was asserted per instance inside the experiment; the
+    # winning tree index stays minuscule next to Thorup's λ^7 budget.
+    assert all(row[3] <= 12 for row in rows)

@@ -1,0 +1,83 @@
+"""E3 — (1+ε) beats (2+ε): approximation quality comparison.
+
+Paper claim ("Our Results" + "Previous Work"): a (1+ε)-approximation in
+O~((√n+D)/poly(ε)) rounds, improving the (2+ε) algorithm of
+Ghaffari–Kuhn [DISC 2013]; Su's concurrent sampling-based (1+ε) result
+cannot be exact even for small λ.
+
+Regenerated table: realised approximation ratios (value / ground truth)
+of the three algorithms across instances and ε values.  Shape to match:
+our ratio ≤ 1+ε everywhere (and usually 1.0); Matula bounded by 2+ε;
+Su valid but occasionally above ours.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.baselines import (
+    matula_approx_min_cut,
+    stoer_wagner_min_cut,
+    su_approx_min_cut,
+)
+from repro.graphs import complete_graph, connected_gnp_graph, planted_cut_graph
+from repro.mincut import minimum_cut_approx
+
+EPSILONS = (0.25, 0.5, 1.0)
+
+
+def _instances():
+    return [
+        ("planted λ=2", planted_cut_graph((14, 14), 2, seed=1)),
+        ("planted λ=6", planted_cut_graph((18, 18), 6, seed=2)),
+        ("ER n=36", connected_gnp_graph(36, 0.4, seed=3)),
+        ("K64", complete_graph(64)),
+    ]
+
+
+def _experiment():
+    rows = []
+    ours_ratios, matula_ratios = [], []
+    for name, graph in _instances():
+        truth = stoer_wagner_min_cut(graph).value
+        su = su_approx_min_cut(graph, seed=5)
+        for eps in EPSILONS:
+            ours = minimum_cut_approx(graph, epsilon=eps, seed=11)
+            matula = matula_approx_min_cut(graph, epsilon=eps)
+            r_ours = ours.value / truth
+            r_matula = matula.value / truth
+            ours_ratios.append((r_ours, eps))
+            matula_ratios.append((r_matula, eps))
+            rows.append(
+                [
+                    name,
+                    eps,
+                    truth,
+                    round(r_ours, 3),
+                    round(r_matula, 3),
+                    round(su.value / truth, 3),
+                    "sampling" if ours.used_sampling else "exact",
+                ]
+            )
+    return rows, ours_ratios, matula_ratios
+
+
+def test_e3_approximation_quality(benchmark, record_table):
+    rows, ours_ratios, matula_ratios = run_once(benchmark, _experiment)
+    table = format_table(
+        ["instance", "ε", "λ", "ours (1+ε)", "Matula (2+ε)", "Su", "our path"],
+        rows,
+        title=(
+            "E3 — approximation ratios vs ground truth\n"
+            "paper: (1+ε) improves the previous (2+ε) [GK13]; Su concurrent "
+            "(1+ε) cannot be exact"
+        ),
+    )
+    record_table("E3_approx_quality", table)
+
+    # Guarantees realised: ours within 1+ε, Matula within 2+ε.
+    for ratio, eps in ours_ratios:
+        assert 1.0 - 1e-9 <= ratio <= 1.0 + eps + 1e-9
+    for ratio, eps in matula_ratios:
+        assert 1.0 - 1e-9 <= ratio <= 2.0 + eps + 1e-9
+    # The headline: our worst ratio beats the (2+ε) *guarantee* band.
+    assert max(r for r, _ in ours_ratios) < 2.0

@@ -1,0 +1,70 @@
+"""E4 — Thorup's tree packing: how many trees until one 1-respects?
+
+Paper technique: "if we generate Θ(λ^7 log^3 n) trees … then one of
+these trees will contain exactly one edge in the minimum cut."
+
+Regenerated table: on planted-cut instances with λ = 1..6, the 1-based
+index of the first greedy packing tree that 1-respects the planted
+minimum cut, versus Thorup's theoretical budget.  Shape to match: a
+1-respecting tree always exists within the budget — empirically within
+a handful of trees, which is exactly the gap the exact driver's adaptive
+schedule exploits.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.graphs import planted_cut_graph, planted_cut_sides
+from repro.packing import (
+    GreedyTreePacking,
+    crossing_count,
+    thorup_tree_bound,
+    trees_until_one_respecting,
+)
+
+LAMBDAS = (1, 2, 3, 4, 5, 6)
+SIDES = (15, 15)
+MAX_TREES = 64
+
+
+def _experiment():
+    rows = []
+    for lam in LAMBDAS:
+        graph = planted_cut_graph(SIDES, lam, seed=lam * 3)
+        side = planted_cut_sides(SIDES)
+        packing = GreedyTreePacking(graph)
+        trees = packing.grow_to(MAX_TREES)
+        index = trees_until_one_respecting(trees, side)
+        min_crossings = min(crossing_count(t, side) for t in trees)
+        rows.append(
+            [
+                lam,
+                index,
+                min_crossings,
+                thorup_tree_bound(lam, graph.number_of_nodes),
+            ]
+        )
+    return rows
+
+
+def test_e4_tree_packing(benchmark, record_table):
+    rows = run_once(benchmark, _experiment)
+    table = format_table(
+        ["λ", "first 1-respecting tree", "min crossings seen", "Thorup bound λ^7·log³n"],
+        rows,
+        title=(
+            "E4 — greedy tree packing vs the minimum cut (planted instances)\n"
+            "paper: some tree among Θ(λ^7 log³ n) 1-respects a min cut; "
+            "empirically a handful suffice"
+        ),
+    )
+    record_table("E4_tree_packing", table)
+
+    for lam, index, min_crossings, bound in rows:
+        assert min_crossings == 1  # a 1-respecting tree was found...
+        assert index <= MAX_TREES  # ...quickly,
+        assert index <= bound  # ...and certainly within Thorup's budget.
+    # The gap the adaptive schedule exploits: empirical ≪ theoretical
+    # (compared per λ; at λ=1 the bound is only polylog, so skip it).
+    for _lam, index, _mc, bound in rows[1:]:
+        assert index * 100 < bound

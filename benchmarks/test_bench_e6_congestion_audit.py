@@ -1,0 +1,59 @@
+"""E6 — CONGEST-model compliance audit.
+
+Paper's model (Section 1): "in each round, each node can send a message
+of size O(log n) bits to each of its neighbors."
+
+Regenerated table: for a representative workload, per-phase maxima of
+message size (in words — one word models O(log n) bits) and the largest
+per-edge queue backlog (pipelining depth).  The engine delivers at most
+one message per edge per direction per round *by construction*; this
+audit demonstrates the remaining obligation — constant-size messages —
+holds across every phase of the algorithm, with strict mode enabled.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.congest import CongestNetwork
+from repro.core import one_respecting_min_cut_congest
+from repro.graphs import connected_gnp_graph, random_spanning_tree
+
+N = 256
+
+
+def _experiment():
+    graph = connected_gnp_graph(N, 3.5 / 16, seed=4)
+    tree = random_spanning_tree(graph, seed=4)
+    net = CongestNetwork(graph, strict=True)
+    one_respecting_min_cut_congest(graph, tree, network=net)
+    rows = [
+        [p.name, p.rounds, p.messages, p.max_message_words, p.max_edge_backlog]
+        for p in net.metrics.phases
+        if p.messages > 0
+    ]
+    return rows, net.metrics.summary(), net.max_words_per_message
+
+
+def test_e6_congestion_audit(benchmark, record_table):
+    rows, summary, budget = run_once(benchmark, _experiment)
+    table = format_table(
+        ["phase", "rounds", "messages", "max words/msg", "max edge backlog"],
+        rows,
+        title=(
+            f"E6 — CONGEST bandwidth audit (n={N}, strict mode)\n"
+            "delivery is 1 message/edge/direction/round by construction; "
+            f"message budget = {budget} words (1 word ≈ O(log n) bits)"
+        ),
+    )
+    table += (
+        f"\n\ntotals: {summary['measured_rounds']} measured rounds, "
+        f"{summary['messages']} messages, max message "
+        f"{summary['max_message_words']} words"
+    )
+    record_table("E6_congestion_audit", table)
+
+    # Every phase respects the O(log n)-bit message budget.
+    assert all(row[3] <= budget for row in rows)
+    # Pipelining exists (some phase queues many messages per edge) —
+    # i.e. the bound is enforced by serialisation, not by assumption.
+    assert max(row[4] for row in rows) >= 4

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare the paper's (1+ε) algorithm against the (2+ε) baseline.
+
+Reproduces the paper's Section 1 comparison as an experiment: on graphs
+with known minimum cuts, measure the realised approximation ratio of
+
+* this paper (Karger sampling + exact tree-packing solve),
+* Ghaffari–Kuhn's guarantee class via the Matula (2+ε) analog,
+* Su's concurrent sampling + bridge approach.
+
+Run:  python examples/approximation_showdown.py
+"""
+
+from repro.analysis import format_table
+from repro.baselines import (
+    matula_approx_min_cut,
+    stoer_wagner_min_cut,
+    su_approx_min_cut,
+)
+from repro.graphs import complete_graph, connected_gnp_graph, planted_cut_graph
+from repro.mincut import minimum_cut_approx
+
+
+def main() -> None:
+    instances = [
+        ("planted λ=3", planted_cut_graph((16, 16), 3, seed=1)),
+        ("planted λ=8", planted_cut_graph((20, 20), 8, seed=2)),
+        ("dense ER", connected_gnp_graph(40, 0.5, seed=3)),
+        ("complete K60", complete_graph(60)),
+    ]
+    epsilon = 0.5
+    rows = []
+    for name, graph in instances:
+        truth = stoer_wagner_min_cut(graph).value
+        ours = minimum_cut_approx(graph, epsilon=epsilon, seed=7)
+        matula = matula_approx_min_cut(graph, epsilon=epsilon)
+        su = su_approx_min_cut(graph, seed=7)
+        rows.append(
+            [
+                name,
+                truth,
+                round(ours.value / truth, 3),
+                round(matula.value / truth, 3),
+                round(su.value / truth, 3),
+                "sampling" if ours.used_sampling else "exact",
+            ]
+        )
+    print(
+        format_table(
+            ["instance", "λ", "ours (1+ε)", "Matula (2+ε)", "Su (1+ε)", "our path"],
+            rows,
+            title=f"Approximation ratios at ε = {epsilon} "
+            f"(guarantees: ours ≤ {1 + epsilon}, Matula ≤ {2 + epsilon})",
+        )
+    )
+    print(
+        "\nThe paper's improvement: the (1+ε) column stays at ~1.0 while the\n"
+        "(2+ε) baseline is allowed to (and sometimes does) drift higher."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks wheel support (the legacy
+editable path needs a setup.py).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

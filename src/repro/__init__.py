@@ -1,0 +1,43 @@
+"""repro — reproduction of Nanongkai (PODC 2014), distributed min cut.
+
+Public API highlights
+---------------------
+* :class:`repro.graphs.WeightedGraph`, :class:`repro.graphs.RootedTree`
+  and the generator families.
+* :class:`repro.congest.CongestNetwork` — the CONGEST simulator.
+* :func:`repro.core.one_respecting_min_cut_congest` — Theorem 2.1.
+* :mod:`repro.mincut` — the paper's headline exact and (1+ε)-approximate
+  algorithms.
+* :mod:`repro.baselines` — Stoer–Wagner, Karger(-Stein), Matula (2+ε),
+  brute force, bridges, Nagamochi–Ibaraki.
+"""
+
+from .errors import (
+    AlgorithmError,
+    BandwidthExceededError,
+    CongestError,
+    DisconnectedGraphError,
+    GraphError,
+    ProtocolError,
+    ReproError,
+    RoundLimitExceededError,
+    TreeError,
+)
+from .graphs import RootedTree, WeightedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmError",
+    "BandwidthExceededError",
+    "CongestError",
+    "DisconnectedGraphError",
+    "GraphError",
+    "ProtocolError",
+    "ReproError",
+    "RoundLimitExceededError",
+    "TreeError",
+    "RootedTree",
+    "WeightedGraph",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Measurement analysis helpers (system S12 of DESIGN.md)."""
+
+from .report import build_report, write_report
+from .rounds import PowerLawFit, fit_power_law, normalized_rounds
+from .tables import format_table
+
+__all__ = [
+    "build_report",
+    "write_report",
+    "PowerLawFit",
+    "fit_power_law",
+    "normalized_rounds",
+    "format_table",
+]

@@ -1,0 +1,81 @@
+"""Aggregate benchmark result tables into one reproduction report.
+
+Every benchmark writes its table to ``benchmarks/results/<id>.txt``;
+:func:`build_report` stitches them into a single markdown document with
+a stable experiment ordering, so ``REPORT.md`` can be regenerated after
+any benchmark run:
+
+```python
+from repro.analysis.report import build_report, write_report
+write_report("benchmarks/results", "REPORT.md")
+```
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..errors import AlgorithmError
+
+EXPERIMENT_ORDER = [
+    "E1_one_respect_rounds",
+    "E2_exact_rounds_vs_lambda",
+    "E3_approx_quality",
+    "E4_tree_packing",
+    "E5_lower_bound_family",
+    "E6_congestion_audit",
+    "F1_figure1_structures",
+    "T1_claims_table",
+    "A1_threshold_ablation",
+    "A2_pipelining_ablation",
+    "A3_respect_ablation",
+    "A4_certified_bounds",
+]
+
+HEADER = (
+    "# Reproduction report\n\n"
+    "Regenerated from `benchmarks/results/` "
+    "(produce them with `pytest benchmarks/ --benchmark-only`).\n"
+    "Paper: Nanongkai, *Almost-Tight Approximation Distributed Algorithm "
+    "for Minimum Cut*, PODC 2014.\n"
+)
+
+
+def build_report(results_dir: Union[str, Path]) -> str:
+    """Concatenate all known result tables in experiment order.
+
+    Unknown extra files are appended at the end (sorted), so custom
+    experiments are not silently dropped; missing known experiments are
+    listed as pending.
+    """
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise AlgorithmError(f"no results directory at {directory}")
+    sections = [HEADER]
+    seen = set()
+    missing = []
+    for experiment_id in EXPERIMENT_ORDER:
+        path = directory / f"{experiment_id}.txt"
+        if path.exists():
+            seen.add(path.name)
+            sections.append(f"## {experiment_id}\n\n```\n{path.read_text().rstrip()}\n```\n")
+        else:
+            missing.append(experiment_id)
+    for path in sorted(directory.glob("*.txt")):
+        if path.name not in seen:
+            sections.append(
+                f"## {path.stem} (unregistered)\n\n```\n{path.read_text().rstrip()}\n```\n"
+            )
+    if missing:
+        sections.append(
+            "## Pending\n\nNot yet generated: " + ", ".join(missing) + "\n"
+        )
+    return "\n".join(sections)
+
+
+def write_report(results_dir: Union[str, Path], output: Union[str, Path]) -> Path:
+    """Write :func:`build_report`'s output to ``output``; returns the path."""
+    path = Path(output)
+    path.write_text(build_report(results_dir), encoding="utf-8")
+    return path

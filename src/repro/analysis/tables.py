@@ -1,0 +1,36 @@
+"""ASCII tables — the output format of every benchmark harness.
+
+The paper is a brief announcement without empirical tables, so the
+harness reports take the form of the *claims* restated with measured
+numbers next to them; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a fixed-width table with a rule under the header."""
+    columns = [str(h) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.3f}"
+    return str(cell)

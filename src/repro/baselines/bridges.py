@@ -1,0 +1,78 @@
+"""Bridge finding (Tarjan low-link, iterative) — the Thurimella stand-in.
+
+Su's concurrent SPAA 2014 algorithm (discussed in the paper's
+"Concurrent Result" paragraph) finds the minimum cut of a sampled graph
+by locating a *bridge* with Thurimella's distributed algorithm.  The
+behavioural contract is "find an edge whose removal disconnects the
+graph, and the component it cuts off"; this centralized implementation
+provides exactly that for the Su-style baseline (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from ..errors import AlgorithmError
+from ..graphs.graph import Node, WeightedGraph
+
+
+def find_bridges(graph: WeightedGraph) -> list[tuple[Node, Node]]:
+    """All bridges of ``graph`` (iterative DFS low-link, O(n + m)).
+
+    Works on disconnected graphs (per component).  Parallel edges never
+    exist in :class:`WeightedGraph` (merged by weight), so every edge is
+    a candidate.
+    """
+    index: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Node] = {}
+    bridges: list[tuple[Node, Node]] = []
+    counter = 0
+    for start in graph.nodes:
+        if start in index:
+            continue
+        stack: list[tuple[Node, iter]] = [(start, iter(graph.neighbors(start)))]
+        index[start] = low[start] = counter
+        counter += 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    parent[nxt] = node
+                    index[nxt] = low[nxt] = counter
+                    counter += 1
+                    stack.append((nxt, iter(graph.neighbors(nxt))))
+                    advanced = True
+                    break
+                if nxt != parent.get(node):
+                    low[node] = min(low[node], index[nxt])
+            if not advanced:
+                stack.pop()
+                par = parent.get(node)
+                if par is not None:
+                    low[par] = min(low[par], low[node])
+                    if low[node] > index[par]:
+                        bridges.append((par, node))
+    return bridges
+
+
+def bridge_component(graph: WeightedGraph, bridge: tuple[Node, Node]) -> set[Node]:
+    """The nodes reachable from ``bridge[1]`` without using the bridge —
+    one side of the cut the bridge induces."""
+    a, b = bridge
+    if not graph.has_edge(a, b):
+        raise AlgorithmError(f"({a!r}, {b!r}) is not an edge")
+    seen = {b}
+    frontier = [b]
+    while frontier:
+        nxt: list[Node] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if (u, v) == (b, a):
+                    continue
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    if a in seen:
+        raise AlgorithmError(f"({a!r}, {b!r}) is not a bridge")
+    return seen

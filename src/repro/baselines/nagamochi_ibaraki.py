@@ -1,0 +1,82 @@
+"""Nagamochi–Ibaraki scanning and sparse certificates.
+
+The scan processes nodes in maximum-adjacency order; when node ``u`` is
+scanned, each edge ``(u, v)`` to an unscanned ``v`` is assigned the
+half-open *scan interval* ``[r(v), r(v) + w)`` where ``r(v)`` is the
+total weight already scanned into ``v``.  The classic facts:
+
+* the edges whose interval starts below ``k`` form a sparse
+  ``k``-certificate: capping each edge at ``min(w, k − start)`` keeps
+  every cut value of the original graph up to ``k``;
+* an edge whose interval starts at or above ``k`` joins two endpoints
+  that are ``k``-edge-connected, so contracting it preserves every cut
+  of value below ``k``.
+
+The second fact powers Matula's (2+ε) approximation
+(:mod:`repro.baselines.matula`) — the centralized analog of the
+Ghaffari–Kuhn baseline the paper improves on.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import AlgorithmError
+from ..graphs.graph import Node, WeightedGraph
+
+
+def scan_intervals(graph: WeightedGraph) -> dict[tuple[Node, Node], tuple[float, float]]:
+    """NI scan: ``{(u, v): (start, weight)}`` with canonical edge keys.
+
+    ``start`` is the scanned weight into the later endpoint when the
+    edge was assigned; smaller starts mean the edge is needed by sparser
+    certificates.
+    """
+    graph.require_connected()
+    start_of: dict[tuple[Node, Node], tuple[float, float]] = {}
+    scanned: set[Node] = set()
+    r = {v: 0.0 for v in graph.nodes}
+    heap: list[tuple[float, int, Node]] = []
+    counter = 0
+    first = graph.nodes[0]
+    heapq.heappush(heap, (0.0, counter, first))
+    while heap:
+        _neg, _tick, u = heapq.heappop(heap)
+        if u in scanned:
+            continue
+        scanned.add(u)
+        for v in graph.neighbors(u):
+            if v in scanned:
+                continue
+            w = graph.weight(u, v)
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            start_of[key] = (r[v], w)
+            r[v] += w
+            counter += 1
+            heapq.heappush(heap, (-r[v], counter, v))
+    if len(scanned) != graph.number_of_nodes:
+        raise AlgorithmError("scan did not reach every node; graph disconnected?")
+    return start_of
+
+
+def sparse_certificate(graph: WeightedGraph, k: float) -> WeightedGraph:
+    """The weighted ``k``-certificate: every cut value is preserved up to
+    ``k`` while total weight drops to at most ``k·(n−1)``."""
+    if k <= 0:
+        raise AlgorithmError(f"certificate parameter must be positive, got {k}")
+    intervals = scan_intervals(graph)
+    certificate = WeightedGraph()
+    for u in graph.nodes:
+        certificate.add_node(u)
+    for (u, v), (start, weight) in intervals.items():
+        kept = min(weight, max(0.0, k - start))
+        if kept > 0:
+            certificate.add_edge(u, v, kept)
+    return certificate
+
+
+def contractible_edges(graph: WeightedGraph, k: float) -> list[tuple[Node, Node]]:
+    """Edges whose scan interval starts at or above ``k`` — safe to
+    contract while hunting for cuts smaller than ``k``."""
+    intervals = scan_intervals(graph)
+    return [edge for edge, (start, _w) in intervals.items() if start >= k]

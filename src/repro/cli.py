@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``exact``      exact minimum cut of a generated family or an edge-list
+               file (Thorup packing + 1-respecting cuts; optional
+               congest mode with round accounting).
+``approx``     the (1+ε)-approximation via Karger sampling.
+``rounds``     measure Theorem 2.1's distributed rounds over a size
+               sweep of one family and fit the scaling exponent.
+``compare``    run every algorithm (ours + baselines) on one instance
+               and print the agreement table.
+``bounds``     certified λ interval from edge-disjoint tree packings.
+
+Examples
+--------
+::
+
+    python -m repro exact --family gnp --n 128 --mode congest
+    python -m repro approx --family complete --n 64 --epsilon 0.5
+    python -m repro rounds --family grid --sizes 64,144,324
+    python -m repro compare --file mygraph.edges
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Optional
+
+from .analysis import fit_power_law, format_table
+from .baselines import (
+    matula_approx_min_cut,
+    stoer_wagner_min_cut,
+    su_approx_min_cut,
+)
+from .core import one_respecting_min_cut_congest
+from .errors import ReproError
+from .graphs import (
+    WeightedGraph,
+    build_family,
+    diameter,
+    random_spanning_tree,
+    read_edge_list,
+    FAMILY_BUILDERS,
+)
+from .mincut import minimum_cut_approx, minimum_cut_exact
+
+
+def _load_graph(args: argparse.Namespace) -> WeightedGraph:
+    if args.file:
+        graph = read_edge_list(args.file)
+    else:
+        graph = build_family(args.family, args.n, seed=args.seed)
+    graph.require_connected()
+    return graph
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        choices=sorted(FAMILY_BUILDERS),
+        default="gnp",
+        help="generated graph family (ignored with --file)",
+    )
+    parser.add_argument("--n", type=int, default=64, help="approximate size")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--file", default=None, help="edge-list file (overrides --family)"
+    )
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = minimum_cut_exact(graph, mode=args.mode, tree_count=args.trees)
+    print(f"minimum cut value : {result.value:g}")
+    print(f"witness side size : {len(result.side)} of {graph.number_of_nodes}")
+    print(f"packing trees used: {result.trees_used} (winner: #{result.tree_index})")
+    if result.metrics is not None:
+        summary = result.metrics.summary()
+        print(
+            f"rounds            : {summary['total_rounds']} "
+            f"({summary['measured_rounds']} measured + "
+            f"{summary['charged_rounds']} charged), "
+            f"{summary['messages']} messages"
+        )
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = minimum_cut_approx(graph, epsilon=args.epsilon, seed=args.seed)
+    path = "sampling" if result.used_sampling else "exact (small lambda)"
+    print(f"(1+eps) cut value : {result.value:g}   [eps={args.epsilon}, via {path}]")
+    print(f"witness side size : {len(result.side)} of {graph.number_of_nodes}")
+    if result.used_sampling:
+        print(
+            f"sampling rate p   : {result.probability:.4f}  "
+            f"(skeleton min cut {result.skeleton_value:g})"
+        )
+    return 0
+
+
+def _cmd_rounds(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    xs, ys = [], []
+    for n in sizes:
+        graph = build_family(args.family, n, seed=args.seed)
+        tree = random_spanning_tree(graph, seed=args.seed)
+        outcome = one_respecting_min_cut_congest(graph, tree)
+        d = diameter(graph)
+        actual = graph.number_of_nodes
+        measured = outcome.metrics.measured_rounds
+        xs.append(math.sqrt(actual) + d)
+        ys.append(measured)
+        rows.append(
+            [actual, d, measured, outcome.metrics.charged_rounds,
+             round(measured / (math.sqrt(actual) + d), 2)]
+        )
+    print(
+        format_table(
+            ["n", "D", "measured", "charged", "measured/(sqrt(n)+D)"],
+            rows,
+            title=f"Theorem 2.1 rounds — family '{args.family}'",
+        )
+    )
+    if len(sizes) >= 2:
+        fit = fit_power_law(xs, ys)
+        print(
+            f"\nfit: rounds ~ (sqrt(n)+D)^{fit.exponent:.2f} "
+            f"(R^2={fit.r_squared:.3f})"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    truth = stoer_wagner_min_cut(graph)
+    rows = [["Stoer-Wagner (ground truth)", truth.value, 1.0]]
+    exact = minimum_cut_exact(graph)
+    rows.append(["this paper, exact", exact.value, exact.value / truth.value])
+    approx = minimum_cut_approx(graph, epsilon=args.epsilon, seed=args.seed)
+    rows.append(
+        [f"this paper, (1+{args.epsilon})", approx.value, approx.value / truth.value]
+    )
+    matula = matula_approx_min_cut(graph, epsilon=args.epsilon)
+    rows.append(
+        [f"Matula (2+{args.epsilon}) [GK13 analog]", matula.value,
+         matula.value / truth.value]
+    )
+    su = su_approx_min_cut(graph, seed=args.seed)
+    rows.append(["Su (sampling+bridges)", su.value, su.value / truth.value])
+    print(
+        format_table(
+            ["algorithm", "cut value", "ratio"],
+            [[name, val, round(ratio, 4)] for name, val, ratio in rows],
+            title=f"n={graph.number_of_nodes}, m={graph.number_of_edges}",
+        )
+    )
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from .packing import certified_cut_bounds
+
+    graph = _load_graph(args)
+    bounds = certified_cut_bounds(graph)
+    print(f"certified interval : [{bounds.lower:g}, {bounds.upper:g}]")
+    print(f"edge-disjoint trees: {bounds.disjoint_trees} (proves λ ≥ {bounds.lower:g})")
+    print(f"upper-bound witness: side of {len(bounds.upper_witness)} node(s)")
+    if bounds.is_tight:
+        print("interval is tight — λ is determined without any exact solver")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed minimum cut (Nanongkai, PODC 2014) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exact = sub.add_parser("exact", help="exact minimum cut")
+    _add_instance_arguments(p_exact)
+    p_exact.add_argument("--mode", choices=("reference", "congest"), default="reference")
+    p_exact.add_argument("--trees", type=int, default=None, help="pin the packing size")
+    p_exact.set_defaults(handler=_cmd_exact)
+
+    p_approx = sub.add_parser("approx", help="(1+eps)-approximate minimum cut")
+    _add_instance_arguments(p_approx)
+    p_approx.add_argument("--epsilon", type=float, default=0.5)
+    p_approx.set_defaults(handler=_cmd_approx)
+
+    p_rounds = sub.add_parser("rounds", help="measure Theorem 2.1 round scaling")
+    p_rounds.add_argument(
+        "--family", choices=sorted(FAMILY_BUILDERS), default="gnp"
+    )
+    p_rounds.add_argument("--sizes", default="64,144,256")
+    p_rounds.add_argument("--seed", type=int, default=0)
+    p_rounds.set_defaults(handler=_cmd_rounds)
+
+    p_compare = sub.add_parser("compare", help="all algorithms on one instance")
+    _add_instance_arguments(p_compare)
+    p_compare.add_argument("--epsilon", type=float, default=0.5)
+    p_compare.set_defaults(handler=_cmd_compare)
+
+    p_bounds = sub.add_parser("bounds", help="certified minimum-cut interval")
+    _add_instance_arguments(p_bounds)
+    p_bounds.set_defaults(handler=_cmd_bounds)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

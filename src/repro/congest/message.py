@@ -1,0 +1,73 @@
+"""Messages and bandwidth accounting for the CONGEST model.
+
+In the CONGEST model every node may send, per round and per incident
+edge, one message of ``O(log n)`` bits.  We model an ``O(log n)``-bit
+quantity as one *word*: node identifiers, round numbers, counters bounded
+by ``poly(n)``, and quantised weights each fit in a constant number of
+words.  A message is a ``kind`` tag plus a small tuple payload; its cost
+in words is audited by :func:`payload_words`, and the network enforces a
+configurable ``max_words_per_message`` so that accidentally smuggling a
+linear-size payload into "one message" raises instead of silently
+breaking the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import BandwidthExceededError
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes
+    ----------
+    kind:
+        Protocol tag, e.g. ``"bfs"`` or ``"lca-list"``.  Tags are drawn
+        from a constant-size alphabet per algorithm, so they cost O(1)
+        bits and are *not* charged words.
+    payload:
+        Tuple of scalars (ints, floats, strings, small tuples).  Charged
+        one word per scalar, recursively.
+    """
+
+    kind: str
+    payload: tuple = ()
+
+    @property
+    def words(self) -> int:
+        """Size of the payload in words (see module docstring)."""
+        return payload_words(self.payload)
+
+
+def payload_words(value: Any) -> int:
+    """Recursively count the word cost of a payload.
+
+    Scalars cost one word; tuples/lists/frozensets cost the sum of their
+    elements (a length prefix is absorbed into the constant).  ``None``
+    costs zero (absence flag).
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (int, float, str, bool)):
+        return 1
+    if isinstance(value, (tuple, list, frozenset)):
+        return sum(payload_words(item) for item in value)
+    raise BandwidthExceededError(
+        f"payload element of type {type(value).__name__} has no defined "
+        f"CONGEST size; send scalars or tuples of scalars"
+    )
+
+
+def check_message_size(message: Message, max_words: int) -> None:
+    """Raise :class:`BandwidthExceededError` when the message is too big."""
+    words = message.words
+    if words > max_words:
+        raise BandwidthExceededError(
+            f"message kind={message.kind!r} carries {words} words, "
+            f"exceeding the per-message budget of {max_words} words "
+            f"(one word models O(log n) bits)"
+        )

@@ -1,0 +1,207 @@
+"""The synchronous CONGEST engine.
+
+The engine owns, for every directed edge ``(u, v)``, a FIFO of pending
+messages.  A round consists of:
+
+1. **delivery** — the head message (if any) of every directed-edge FIFO
+   is removed and placed in the receiver's inbox; at most one message
+   crosses each edge per direction per round *by construction*, which is
+   exactly the CONGEST bandwidth constraint;
+2. **computation** — every node with a non-empty inbox (plus nodes that
+   requested a tick) runs ``on_round``; messages it sends are appended to
+   the FIFOs and become eligible for delivery from the next round on.
+
+Enqueueing many messages at once is therefore legal and models
+*pipelining*: `k` messages to the same neighbour drain over `k` rounds.
+Strict mode additionally audits every message's size in words
+(:mod:`repro.congest.message`), so an algorithm that tries to stuff a
+non-constant amount of data into one message fails loudly.
+
+A phase ends at **quiescence**: no FIFO holds a message and no node
+requested a tick.  Phases of a larger algorithm share each node's
+persistent ``memory`` dict, modelling local storage across phases (the
+phase barrier itself is charged by drivers as O(D) where relevant).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable
+from typing import Any, Optional
+
+from ..errors import CongestError, RoundLimitExceededError
+from ..graphs.graph import WeightedGraph
+from .message import Message, check_message_size
+from .metrics import PhaseMetrics, RunMetrics
+from .node import NodeContext, NodeProgram
+
+NodeId = Hashable
+ProgramFactory = Callable[[NodeId], NodeProgram]
+
+DEFAULT_MAX_WORDS = 8
+DEFAULT_ROUND_LIMIT = 2_000_000
+
+
+class PhaseResult:
+    """Outcome of one phase: metrics plus collected node outputs."""
+
+    def __init__(self, metrics: PhaseMetrics, outputs: dict[NodeId, dict[str, Any]]):
+        self.metrics = metrics
+        self.outputs = outputs
+
+    def output_map(self, key: str) -> dict[NodeId, Any]:
+        """``{node: value}`` for one output key, restricted to nodes that
+        produced it."""
+        return {u: vals[key] for u, vals in self.outputs.items() if key in vals}
+
+
+class CongestNetwork:
+    """A CONGEST network over a :class:`WeightedGraph`.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology; must be connected for most protocols
+        (checked by the algorithms, not the engine).
+    max_words_per_message:
+        Per-message budget in words (one word models O(log n) bits).
+    strict:
+        When True (default), oversize messages raise
+        :class:`~repro.errors.BandwidthExceededError`.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        max_words_per_message: int = DEFAULT_MAX_WORDS,
+        strict: bool = True,
+        tracer=None,
+    ) -> None:
+        self.graph = graph
+        self.strict = strict
+        self.tracer = tracer
+        self.max_words_per_message = max_words_per_message
+        self._nodes: list[NodeId] = graph.nodes
+        self._neighbors: dict[NodeId, list[NodeId]] = {
+            u: graph.neighbors(u) for u in self._nodes
+        }
+        self._weights: dict[NodeId, dict[NodeId, float]] = {
+            u: {v: graph.weight(u, v) for v in self._neighbors[u]}
+            for u in self._nodes
+        }
+        self.memory: dict[NodeId, dict[str, Any]] = {u: {} for u in self._nodes}
+        self.metrics = RunMetrics()
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    def reset_memory(self) -> None:
+        """Clear all persistent node memory (fresh computation)."""
+        self.memory = {u: {} for u in self._nodes}
+
+    def run_phase(
+        self,
+        name: str,
+        program_factory: ProgramFactory,
+        max_rounds: Optional[int] = None,
+    ) -> PhaseResult:
+        """Run one phase to quiescence and record its metrics.
+
+        ``program_factory(node)`` builds the per-node program.  Raises
+        :class:`RoundLimitExceededError` if quiescence is not reached
+        within ``max_rounds`` (default: a large engine-level limit that
+        only trips on livelocked protocols).
+        """
+        limit = max_rounds if max_rounds is not None else DEFAULT_ROUND_LIMIT
+        phase = PhaseMetrics(name=name)
+        outputs: dict[NodeId, dict[str, Any]] = {u: {} for u in self._nodes}
+        contexts: dict[NodeId, NodeContext] = {}
+        programs: dict[NodeId, NodeProgram] = {}
+        for u in self._nodes:
+            ctx = NodeContext(
+                node=u,
+                neighbors=self._neighbors[u],
+                weights=self._weights[u],
+                network_size=len(self._nodes),
+                memory=self.memory[u],
+                outputs=outputs[u],
+            )
+            contexts[u] = ctx
+            programs[u] = program_factory(u)
+
+        fifos: dict[tuple[NodeId, NodeId], deque[Message]] = {}
+        tick_set: set[NodeId] = set()
+
+        def flush_outbox(u: NodeId) -> None:
+            for v, msg in contexts[u]._drain():
+                if self.strict:
+                    check_message_size(msg, self.max_words_per_message)
+                queue = fifos.get((u, v))
+                if queue is None:
+                    queue = deque()
+                    fifos[(u, v)] = queue
+                queue.append(msg)
+                if len(queue) > phase.max_edge_backlog:
+                    phase.max_edge_backlog = len(queue)
+            if contexts[u]._take_tick():
+                tick_set.add(u)
+
+        # Round 0: on_start for everyone.
+        for u in self._nodes:
+            programs[u].on_start(contexts[u])
+            flush_outbox(u)
+
+        rounds = 0
+        while fifos or tick_set:
+            if rounds >= limit:
+                raise RoundLimitExceededError(
+                    f"phase {name!r} did not reach quiescence within "
+                    f"{limit} rounds ({len(fifos)} busy edges)"
+                )
+            rounds += 1
+            # 1. Delivery: one message per directed edge.
+            inboxes: dict[NodeId, list[tuple[NodeId, Message]]] = {}
+            emptied: list[tuple[NodeId, NodeId]] = []
+            for (src, dst), queue in fifos.items():
+                msg = queue.popleft()
+                phase.merge_message(msg.words)
+                if self.tracer is not None:
+                    self.tracer.record(name, rounds, src, dst, msg)
+                inboxes.setdefault(dst, []).append((src, msg))
+                if not queue:
+                    emptied.append((src, dst))
+            for key in emptied:
+                del fifos[key]
+            # 2. Computation for receivers and tick requesters.
+            active = set(inboxes) | tick_set
+            tick_set = set()
+            for u in active:
+                ctx = contexts[u]
+                ctx.round = rounds
+                programs[u].on_round(ctx, inboxes.get(u, []))
+                flush_outbox(u)
+
+        phase.rounds = rounds
+        for u in self._nodes:
+            programs[u].on_stop(contexts[u])
+            if contexts[u]._outbox:
+                raise CongestError(
+                    f"node {u!r} attempted to send from on_stop in phase {name!r}"
+                )
+        self.metrics.add_phase(phase)
+        return PhaseResult(phase, outputs)
+
+    # ------------------------------------------------------------------
+    def charge(self, rounds: int, note: str) -> None:
+        """Record an analytic round cost (substituted subroutine)."""
+        self.metrics.charge(rounds, note)
+
+    def memory_map(self, key: str) -> dict[NodeId, Any]:
+        """``{node: memory[key]}`` over nodes that have ``key`` set."""
+        return {u: mem[key] for u, mem in self.memory.items() if key in mem}

@@ -1,0 +1,148 @@
+"""Per-node programming interface for the CONGEST simulator.
+
+A distributed algorithm is written as a :class:`NodeProgram` subclass.
+One instance is created per node per phase; the engine calls
+:meth:`NodeProgram.on_start` once and then :meth:`NodeProgram.on_round`
+on every round in which the node has incoming messages (or has requested
+a tick).  All interaction with the world goes through the
+:class:`NodeContext`, which exposes exactly the knowledge a CONGEST node
+is allowed to have initially: its own identifier, its neighbours, the
+weights of incident edges, and (by the standard convention) ``n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Any, Optional
+
+from .message import Message
+
+NodeId = Hashable
+Inbox = list[tuple[NodeId, Message]]
+
+
+class NodeContext:
+    """Capability handle passed to node programs by the engine.
+
+    The engine owns the actual queues; the context only records intents.
+    ``memory`` persists across phases of a pipeline (it models the node's
+    local storage), while program instances are per-phase.
+    """
+
+    __slots__ = (
+        "node",
+        "neighbors",
+        "_weights",
+        "round",
+        "network_size",
+        "memory",
+        "_outbox",
+        "_outputs",
+        "_tick_requested",
+    )
+
+    def __init__(
+        self,
+        node: NodeId,
+        neighbors: list[NodeId],
+        weights: dict[NodeId, float],
+        network_size: int,
+        memory: dict[str, Any],
+        outputs: dict[str, Any],
+    ) -> None:
+        self.node = node
+        self.neighbors = neighbors
+        self._weights = weights
+        self.round = 0
+        self.network_size = network_size
+        self.memory = memory
+        self._outbox: list[tuple[NodeId, Message]] = []
+        self._outputs = outputs
+        self._tick_requested = False
+
+    # -- knowledge ------------------------------------------------------
+    def edge_weight(self, neighbor: NodeId) -> float:
+        """Weight of the incident edge to ``neighbor`` (initial knowledge)."""
+        return self._weights[neighbor]
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def weighted_degree(self) -> float:
+        """δ(node): total weight of incident edges."""
+        return sum(self._weights.values())
+
+    # -- actions --------------------------------------------------------
+    def send(self, neighbor: NodeId, kind: str, *payload: Any) -> None:
+        """Enqueue a message to ``neighbor``.
+
+        Queued messages drain at one per round per (edge, direction) —
+        the engine's FIFO implements CONGEST pipelining, so enqueueing k
+        messages at once is allowed and they arrive over k rounds.
+        """
+        if neighbor not in self._weights:
+            raise KeyError(
+                f"node {self.node!r} has no edge to {neighbor!r}"
+            )
+        self._outbox.append((neighbor, Message(kind, tuple(payload))))
+
+    def broadcast(self, kind: str, *payload: Any) -> None:
+        """Send the same message to every neighbour."""
+        for v in self.neighbors:
+            self.send(v, kind, *payload)
+
+    def output(self, key: str, value: Any) -> None:
+        """Record a named result of this node (collected by the engine)."""
+        self._outputs[key] = value
+
+    def request_tick(self) -> None:
+        """Ask to be scheduled next round even with an empty inbox.
+
+        Programs that are purely message-driven never need this; it
+        exists for round-counting protocols (e.g. tests of the engine).
+        """
+        self._tick_requested = True
+
+    # -- engine internal -------------------------------------------------
+    def _drain(self) -> list[tuple[NodeId, Message]]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def _take_tick(self) -> bool:
+        t, self._tick_requested = self._tick_requested, False
+        return t
+
+
+class NodeProgram:
+    """Base class for per-node CONGEST programs.
+
+    Subclasses override :meth:`on_start` (round 0 initialisation; may
+    send) and :meth:`on_round` (invoked whenever messages arrive, with
+    the inbox of ``(sender, message)`` pairs delivered this round).
+    Instance attributes are the node's phase-local state.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """One-time initialisation before the first round."""
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        """Handle this round's inbox; send via ``ctx.send``."""
+
+    def on_stop(self, ctx: NodeContext) -> None:
+        """Called once when the phase reaches quiescence (finalise
+        outputs)."""
+
+
+def single_message(inbox: Inbox, kind: str) -> Optional[tuple[NodeId, Message]]:
+    """Convenience: the unique message of ``kind`` in the inbox, or None.
+
+    Raises :class:`ValueError` when several messages of that kind arrived
+    — a protocol bug worth failing loudly on.
+    """
+    matches = [(src, msg) for src, msg in inbox if msg.kind == kind]
+    if not matches:
+        return None
+    if len(matches) > 1:
+        raise ValueError(f"expected at most one {kind!r} message, got {len(matches)}")
+    return matches[0]

@@ -1,0 +1,126 @@
+"""Execution tracing for the CONGEST engine.
+
+A :class:`MessageTracer` attached to a :class:`~repro.congest.network.
+CongestNetwork` records every delivered message as a
+:class:`TraceEvent` — (phase, round, src, dst, kind, payload) — with
+optional filters so traces of large runs stay manageable.  Intended
+uses:
+
+* debugging new node programs (``tracer.render()`` gives a per-round
+  transcript);
+* teaching/demos — the Figure 1 walkthrough can show the actual
+  messages behind each step;
+* assertions in tests about *what was sent*, not just final state
+  (e.g. "the LCA phase never sends more than |A(v)| chain items").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message."""
+
+    phase: str
+    round: int
+    src: object
+    dst: object
+    kind: str
+    payload: tuple
+
+    def render(self) -> str:
+        body = ", ".join(repr(x) for x in self.payload)
+        return f"[{self.phase} r{self.round}] {self.src} -> {self.dst}  {self.kind}({body})"
+
+
+EventFilter = Callable[[TraceEvent], bool]
+
+
+class MessageTracer:
+    """Collects :class:`TraceEvent` objects delivered by the engine.
+
+    Parameters
+    ----------
+    event_filter:
+        Optional predicate; events failing it are dropped at source.
+    max_events:
+        Hard cap — tracing silently stops once reached (the count of
+        *dropped* events is still tracked).
+    """
+
+    def __init__(
+        self,
+        event_filter: Optional[EventFilter] = None,
+        max_events: int = 100_000,
+    ) -> None:
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._filter = event_filter
+        self._max_events = max_events
+
+    # -- engine hook -----------------------------------------------------
+    def record(self, phase: str, round_number: int, src, dst, message) -> None:
+        event = TraceEvent(
+            phase=phase,
+            round=round_number,
+            src=src,
+            dst=dst,
+            kind=message.kind,
+            payload=message.payload,
+        )
+        if self._filter is not None and not self._filter(event):
+            return
+        if len(self.events) >= self._max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def between(self, src, dst) -> list[TraceEvent]:
+        """Events over the directed edge (src, dst), in delivery order."""
+        return [e for e in self.events if e.src == src and e.dst == dst]
+
+    def phases(self) -> list[str]:
+        """Distinct phase names, in first-appearance order."""
+        seen: list[str] = []
+        for e in self.events:
+            if e.phase not in seen:
+                seen.append(e.phase)
+        return seen
+
+    def kind_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for e in self.events:
+            histogram[e.kind] = histogram.get(e.kind, 0) + 1
+        return histogram
+
+    def render(self, limit: int = 200) -> str:
+        """A human-readable transcript (truncated at ``limit`` lines)."""
+        lines = [e.render() for e in self.events[:limit]]
+        remaining = len(self.events) - limit
+        if remaining > 0:
+            lines.append(f"... {remaining} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped at cap")
+        return "\n".join(lines)
+
+
+def node_filter(*nodes) -> EventFilter:
+    """Keep only events touching any of ``nodes`` (as src or dst)."""
+    wanted = set(nodes)
+    return lambda e: e.src in wanted or e.dst in wanted
+
+
+def kind_filter(*kinds: str) -> EventFilter:
+    """Keep only events whose kind is one of ``kinds``."""
+    wanted = set(kinds)
+    return lambda e: e.kind in wanted

@@ -1,0 +1,45 @@
+"""The paper's core contribution (system S9 of DESIGN.md).
+
+* Karger's lemma and the centralized 1-respecting reference.
+* The distributed Theorem 2.1 implementation on the CONGEST simulator.
+* Exact min cut via Thorup tree packing, and (1+ε)-approximation via
+  Karger skeleton sampling (see :mod:`repro.core.mincut_exact` and
+  :mod:`repro.core.mincut_approx`).
+"""
+
+from .karger_lemma import (
+    KargerQuantities,
+    compute_karger_quantities,
+    lca_weights,
+    subtree_sums,
+    weighted_degrees,
+)
+from .one_respect_reference import OneRespectResult, one_respecting_min_cut_reference
+from .one_respect_congest import (
+    DistributedOneRespectResult,
+    install_partition_knowledge,
+    one_respecting_min_cut_congest,
+)
+from .structures import StructuresReference
+from .two_respect import (
+    TwoRespectResult,
+    minimum_cut_exact_two_respect,
+    two_respecting_min_cut_reference,
+)
+
+__all__ = [
+    "TwoRespectResult",
+    "minimum_cut_exact_two_respect",
+    "two_respecting_min_cut_reference",
+    "KargerQuantities",
+    "compute_karger_quantities",
+    "lca_weights",
+    "subtree_sums",
+    "weighted_degrees",
+    "OneRespectResult",
+    "one_respecting_min_cut_reference",
+    "DistributedOneRespectResult",
+    "install_partition_knowledge",
+    "one_respecting_min_cut_congest",
+    "StructuresReference",
+]

@@ -1,0 +1,97 @@
+"""A reconstruction of the paper's Figure 1 on a concrete 16-node instance.
+
+The original figure is illustrative and its exact drawing is not fully
+recoverable from the text, so — per DESIGN.md §5 — we build a 16-node
+rooted tree exhibiting **every phenomenon the figure and its caption
+assert**:
+
+* (1a) a 16-node spanning tree whose nodes 0 and 1 are *merging nodes*;
+* (1b) a fragment decomposition with three child fragments hanging off
+  the root fragment (the paper labels them (5), (6), (7) under (0); ours
+  are (3), (4), (5) under (0) — ids are fragment minima);
+* (1c) a deep node (11) whose scope-ancestor set ``A(v)`` has five
+  members spanning its own and its parent fragment;
+* (1d) the skeleton tree ``T'_F`` on fragment roots + merging nodes;
+* (1e) extra graph edges realising all three LCA cases of Step 5;
+* (1f) ρ-messages of both types — type (i) created for merging-node
+  LCAs by endpoints outside the LCA's fragment and type (ii) held
+  within the LCA's fragment.
+
+Used by the F1 benchmark, the figure walkthrough example and the
+structure tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fragments.partition import FragmentDecomposition, partition_tree
+from ..graphs.graph import WeightedGraph
+from ..graphs.trees import RootedTree
+
+FIGURE1_THRESHOLD = 4
+
+_TREE_PARENTS = {
+    1: 0,
+    2: 0,
+    3: 1,
+    4: 1,
+    5: 2,
+    6: 5,
+    7: 3,
+    8: 3,
+    9: 4,
+    10: 5,
+    11: 7,
+    12: 8,
+    13: 9,
+    14: 9,
+    15: 6,
+}
+
+_EXTRA_EDGES = [
+    (11, 12, 1.0),  # case 1: same fragment (3), LCA 3
+    (10, 15, 1.0),  # case 1: same fragment (5), LCA 5
+    (13, 15, 1.0),  # case 2: fragments (4) vs (5), LCA 0 (merging)
+    (12, 14, 1.0),  # case 2: fragments (3) vs (4), LCA 1 (merging)
+    (7, 1, 1.0),    # case 3: LCA 1 lies in endpoint 1's fragment (0)
+    (0, 15, 1.0),   # case 3 with LCA == endpoint 0
+]
+
+EXPECTED_FRAGMENT_IDS = (0, 3, 4, 5)
+EXPECTED_FRAGMENT_MEMBERS = {
+    0: frozenset({0, 1, 2}),
+    3: frozenset({3, 7, 8, 11, 12}),
+    4: frozenset({4, 9, 13, 14}),
+    5: frozenset({5, 6, 10, 15}),
+}
+EXPECTED_MERGING_NODES = frozenset({0, 1})
+EXPECTED_SKELETON_PARENTS = {0: None, 1: 0, 3: 1, 4: 1, 5: 0}
+EXPECTED_A_OF_11 = (11, 7, 3, 1, 0)
+EXPECTED_LCA_CASES = {
+    (11, 12): 1,
+    (10, 15): 1,
+    (13, 15): 2,
+    (12, 14): 2,
+    (1, 7): 3,
+    (0, 15): 3,
+}
+
+
+@dataclass(frozen=True)
+class Figure1Instance:
+    """The reconstructed Figure 1 world: graph, tree and decomposition."""
+
+    graph: WeightedGraph
+    tree: RootedTree
+    decomposition: FragmentDecomposition
+
+
+def figure1_instance() -> Figure1Instance:
+    """Build the 16-node instance (deterministic, no randomness)."""
+    tree = RootedTree(0, _TREE_PARENTS)
+    graph = tree.to_graph()
+    for u, v, w in _EXTRA_EDGES:
+        graph.add_edge(u, v, w)
+    decomposition = partition_tree(tree, FIGURE1_THRESHOLD)
+    return Figure1Instance(graph=graph, tree=tree, decomposition=decomposition)

@@ -1,0 +1,188 @@
+"""Centralized reference for the Step 1–4 structures of the paper.
+
+Everything the distributed algorithm is supposed to make nodes *know* —
+``A(v)``, ``F(v)``, the fragment tree ``T_F``, merging nodes, the
+skeleton tree ``T'_F``, and the LCA case analysis of Step 5 — computed
+directly from the decomposition.  The distributed phases are validated
+against these maps, and the Figure 1 walkthrough prints them.
+
+Definitions (Section 2 of the paper)
+------------------------------------
+* ``F(v)`` — fragments entirely contained in ``v↓``.  A fragment is
+  contained in ``v↓`` iff its root lies in ``v↓``.  For the Step 3
+  decomposition ``δ↓(v) = Σ_{u∈F_i∩v↓} δ(u) + Σ_{F_j∈F(v)} δ(F_j)`` to be
+  disjoint, ``F(v)`` must exclude ``v``'s *own* fragment (which overlaps
+  the first term when ``v`` is its fragment root).
+* ``A(v)`` — ancestors of ``v`` (including ``v``) lying in ``v``'s
+  fragment or in its parent fragment.
+* **merging node** — a node with two distinct children whose subtrees
+  both contain at least one whole fragment.
+* ``T'_F`` — tree on fragment roots and merging nodes; the parent of a
+  node is its lowest proper ancestor that is also in ``T'_F``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..fragments.partition import FragmentDecomposition
+from ..graphs.graph import Node, WeightedGraph
+from ..graphs.trees import RootedTree
+
+
+@dataclass
+class StructuresReference:
+    """All Step 1–4 artefacts for one ``(G, T, decomposition)`` triple."""
+
+    graph: WeightedGraph
+    tree: RootedTree
+    decomposition: FragmentDecomposition
+
+    fragments_below: dict[Node, frozenset] = field(init=False)
+    contained_any: dict[Node, bool] = field(init=False)
+    scope_ancestors: dict[Node, list[Node]] = field(init=False)
+    merging_nodes: set[Node] = field(init=False)
+    skeleton_nodes: set[Node] = field(init=False)
+    skeleton_parent: dict[Node, Optional[Node]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._compute_fragments_below()
+        self._compute_scope_ancestors()
+        self._compute_merging_nodes()
+        self._compute_skeleton()
+
+    # ------------------------------------------------------------------
+    def _compute_fragments_below(self) -> None:
+        """``F(v)`` for all v (own fragment excluded), plus the weaker
+        predicate "does ``v↓`` contain any whole fragment" used by the
+        merging-node rule."""
+        dec = self.decomposition
+        below: dict[Node, set] = {u: set() for u in self.tree.nodes}
+        any_root_below: dict[Node, bool] = {u: False for u in self.tree.nodes}
+        for u in self.tree.postorder():
+            cell = below[u]
+            for c in self.tree.children(u):
+                cell |= below[c]
+                any_root_below[u] = any_root_below[u] or any_root_below[c]
+            if dec.root_of[u] == u:  # u is a fragment root
+                cell.add(dec.fragment_id(u))
+                any_root_below[u] = True
+        self.contained_any = any_root_below
+        self.fragments_below = {
+            u: frozenset(below[u] - {dec.fragment_id(u)}) for u in self.tree.nodes
+        }
+
+    def _compute_scope_ancestors(self) -> None:
+        """``A(v)``: ancestors of v (incl. v) in v's fragment or in the
+        parent fragment of v's fragment."""
+        dec = self.decomposition
+        scope: dict[Node, list[Node]] = {}
+        for v in self.tree.nodes:
+            my_frag = dec.fragment_id(v)
+            parent_frag = dec.parent_fragment(my_frag)
+            allowed = {my_frag} | ({parent_frag} if parent_frag is not None else set())
+            chain: list[Node] = []
+            x: Optional[Node] = v
+            while x is not None and dec.fragment_id(x) in allowed:
+                chain.append(x)
+                x = self.tree.parent(x)
+            scope[v] = chain
+        self.scope_ancestors = scope
+
+    def _compute_merging_nodes(self) -> None:
+        merging: set[Node] = set()
+        for v in self.tree.nodes:
+            loaded = sum(
+                1 for c in self.tree.children(v) if self.contained_any[c]
+            )
+            if loaded >= 2:
+                merging.add(v)
+        self.merging_nodes = merging
+
+    def _compute_skeleton(self) -> None:
+        """``T'_F``: fragment roots and merging nodes, wired by lowest
+        proper ancestors within the set."""
+        dec = self.decomposition
+        frag_roots = {dec.fragment_root(fid) for fid in dec.fragment_ids()}
+        nodes = frag_roots | self.merging_nodes
+        parent: dict[Node, Optional[Node]] = {}
+        for v in nodes:
+            x = self.tree.parent(v)
+            while x is not None and x not in nodes:
+                x = self.tree.parent(x)
+            parent[v] = x
+        self.skeleton_nodes = nodes
+        self.skeleton_parent = parent
+
+    # ------------------------------------------------------------------
+    def skeleton_tree(self) -> RootedTree:
+        """``T'_F`` as a :class:`RootedTree` (rooted at the tree root)."""
+        root = self.tree.root
+        if root not in self.skeleton_nodes:
+            raise AlgorithmError("the tree root must be a fragment root")
+        parent_map = {
+            v: p for v, p in self.skeleton_parent.items() if p is not None
+        }
+        return RootedTree(root, parent_map)
+
+    def skeleton_ancestors(self, v: Node) -> list[Node]:
+        """Ancestors of ``v`` (possibly including ``v``) that lie in
+        ``T'_F``, ordered from ``v`` upward — what Step 5 case 2 exchanges."""
+        chain: list[Node] = []
+        x: Optional[Node] = v
+        while x is not None:
+            if x in self.skeleton_nodes:
+                chain.append(x)
+            x = self.tree.parent(x)
+        return chain
+
+    # ------------------------------------------------------------------
+    # Step 5 case analysis (used by tests and the distributed program)
+    # ------------------------------------------------------------------
+    def lca_case(self, x: Node, y: Node) -> int:
+        """Which of the paper's three LCA cases edge ``(x, y)`` falls in.
+
+        1 — endpoints share a fragment; 2 — the LCA lies in neither
+        endpoint fragment (it is then a merging node); 3 — the LCA lies
+        in exactly one endpoint's fragment.
+        """
+        dec = self.decomposition
+        fx, fy = dec.fragment_id(x), dec.fragment_id(y)
+        if fx == fy:
+            return 1
+        z = self.tree.lca(x, y)
+        fz = dec.fragment_id(z)
+        if fz != fx and fz != fy:
+            return 2
+        return 3
+
+    def rho_message_type(self, x: Node, y: Node) -> tuple[int, Node, Node]:
+        """Step 5 message bookkeeping for edge ``(x, y)``.
+
+        Returns ``(message_type, lca, holder)`` where ``message_type`` is
+        1 for edges whose endpoints both lie outside the LCA's fragment
+        (counted globally over the BFS tree) and 2 otherwise (counted
+        within the LCA's fragment); ``holder`` is the endpoint that
+        creates the ⟨lca⟩ message (type 2: the endpoint sharing the
+        LCA's fragment — for intra-fragment edges, the deeper endpoint).
+        """
+        dec = self.decomposition
+        z = self.tree.lca(x, y)
+        fz = dec.fragment_id(z)
+        fx, fy = dec.fragment_id(x), dec.fragment_id(y)
+        if fx != fz and fy != fz:
+            if z not in self.merging_nodes and x != z and y != z:
+                raise AlgorithmError(
+                    f"type-1 LCA {z!r} of ({x!r}, {y!r}) must be a merging node"
+                )
+            holder = x  # either endpoint may hold the global message
+            return (1, z, holder)
+        if fx == fz and fy == fz:
+            holder = x if self.tree.depth(x) >= self.tree.depth(y) else y
+        elif fx == fz:
+            holder = x
+        else:
+            holder = y
+        return (2, z, holder)

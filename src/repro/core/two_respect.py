@@ -1,0 +1,188 @@
+"""Minimum cuts that 2-respect a tree — Karger's full framework.
+
+The paper reduces minimum cut to *1-respecting* cuts because Thorup's
+greedy packing guarantees a tree crossing some minimum cut exactly once.
+Karger's original framework [JACM 2000] works with trees crossing the
+cut **at most twice** (2-respecting), which much smaller packings
+achieve.  This module implements the centralized 2-respecting
+minimisation as a library extension:
+
+* For two tree nodes ``u, v`` with **incomparable** subtrees, deleting
+  both parent edges cuts ``u↓ ∪ v↓`` from the rest:
+
+  ``C(u↓ ∪ v↓) = C(u↓) + C(v↓) − 2·W(u↓, v↓)``
+
+* For **comparable** ``v ∈ u↓`` (``v ≠ u``), the cut side is the annulus
+  ``u↓ ∖ v↓``:
+
+  ``C(u↓ ∖ v↓) = C(u↓) + C(v↓) − 2·W(v↓, V ∖ u↓)``
+
+where ``W(A, B)`` is the total weight between disjoint node sets.  Both
+cross-weight families are accumulated per graph edge over ancestor
+chains (O(m·depth²) worst case — a deliberate clarity-over-speed choice
+for the reference; the experiments run it up to a few hundred nodes).
+
+:func:`minimum_cut_exact_two_respect` minimises over 2-respecting cuts
+per packing tree; ablation A3 measures how many fewer trees this needs
+than the 1-respecting reduction — the quantitative reason Karger's
+framework uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..graphs.graph import Node, WeightedGraph
+from ..graphs.trees import RootedTree
+from .karger_lemma import compute_karger_quantities
+
+
+@dataclass(frozen=True)
+class TwoRespectResult:
+    """Minimum over cuts crossing the tree at most twice.
+
+    ``nodes`` is ``(v,)`` when the best cut is the 1-respecting ``C(v↓)``
+    and ``(u, v)`` when two tree edges are involved; ``side`` is the
+    corresponding node set (``u↓ ∪ v↓`` or ``u↓ ∖ v↓``).
+    """
+
+    best_value: float
+    nodes: tuple
+    side: frozenset
+
+    @property
+    def crossings(self) -> int:
+        return len(self.nodes)
+
+
+def two_respecting_min_cut_reference(
+    graph: WeightedGraph, tree: RootedTree
+) -> TwoRespectResult:
+    """Minimum cut 2-respecting ``tree`` (see module docstring)."""
+    if len(tree) < 2:
+        raise AlgorithmError("2-respecting cuts need at least two nodes")
+    quantities = compute_karger_quantities(graph, tree)
+    cut_below = quantities.cut_below
+    root = tree.root
+    nodes = [u for u in tree.nodes if u != root]
+
+    best_value = float("inf")
+    best_nodes: tuple = ()
+    best_side: frozenset = frozenset()
+
+    # 1-respecting candidates.
+    for v in nodes:
+        if cut_below[v] < best_value - 1e-12:
+            best_value = cut_below[v]
+            best_nodes = (v,)
+            best_side = frozenset(tree.subtree(v))
+
+    cross, down_out = _cross_weights(graph, tree)
+
+    subtree_cache = {v: tree.subtree(v) for v in nodes}
+    for i, u in enumerate(nodes):
+        u_sub = subtree_cache[u]
+        for v in nodes[i + 1 :]:
+            v_sub = subtree_cache[v]
+            if v in u_sub:
+                value = cut_below[u] + cut_below[v] - 2.0 * down_out.get((v, u), 0.0)
+                side = u_sub - v_sub
+            elif u in v_sub:
+                value = cut_below[v] + cut_below[u] - 2.0 * down_out.get((u, v), 0.0)
+                side = v_sub - u_sub
+            else:
+                value = cut_below[u] + cut_below[v] - 2.0 * cross.get(_pair(u, v), 0.0)
+                side = u_sub | v_sub
+            if value < best_value - 1e-12 and 0 < len(side) < len(tree):
+                best_value = value
+                best_nodes = (u, v)
+                best_side = frozenset(side)
+    return TwoRespectResult(
+        best_value=best_value, nodes=best_nodes, side=best_side
+    )
+
+
+def _pair(u: Node, v: Node):
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def _cross_weights(graph: WeightedGraph, tree: RootedTree):
+    """Accumulate the two cross-weight families per graph edge.
+
+    ``cross[(a, b)]``   = W(a↓, b↓) for incomparable a, b;
+    ``down_out[(v, u)]`` = W(v↓, V∖u↓) for v a strict descendant of u.
+    """
+    cross: dict = {}
+    down_out: dict = {}
+    ancestor_cache = {
+        x: tree.ancestors(x, include_self=True) for x in tree.nodes
+    }
+    depth = {x: tree.depth(x) for x in tree.nodes}
+    for x, y, w in graph.edges():
+        anc_x = ancestor_cache[x]
+        anc_y = ancestor_cache[y]
+        set_x = set(anc_x)
+        lca = next(a for a in anc_y if a in set_x)
+        # Strict ancestors of x below the LCA vs same for y: those pairs
+        # (a, b) are incomparable with x ∈ a↓, y ∈ b↓.
+        below_x = [a for a in anc_x if depth[a] > depth[lca]]
+        below_y = [b for b in anc_y if depth[b] > depth[lca]]
+        for a in below_x:
+            for b in below_y:
+                key = _pair(a, b)
+                cross[key] = cross.get(key, 0.0) + w
+        # down_out[(v, u)] needs edges from v↓ leaving u↓: v an ancestor
+        # chain entry of one endpoint, u any strict ancestor of v that is
+        # NOT an ancestor of the other endpoint.
+        _accumulate_down_out(down_out, below_x, w)
+        _accumulate_down_out(down_out, below_y, w)
+    return cross, down_out
+
+
+def _accumulate_down_out(down_out: dict, chain: list, w: float):
+    """For an edge endpoint x with below-LCA ancestor chain ``chain``
+    (deepest first): the edge contributes to W(v↓, V∖u↓) for every pair
+    (v, u) on the chain with u a strict ancestor of v — the other
+    endpoint lies outside u↓ exactly when u is strictly below the LCA,
+    which is all of ``chain`` by construction."""
+    for i, v in enumerate(chain):
+        for u in chain[i + 1 :]:
+            key = (v, u)
+            down_out[key] = down_out.get(key, 0.0) + w
+
+
+def minimum_cut_exact_two_respect(
+    graph: WeightedGraph,
+    tree_count: Optional[int] = None,
+    patience: int = 3,
+    max_trees: int = 24,
+) -> TwoRespectResult:
+    """Exact min cut via packing + per-tree **2-respecting** minimisation.
+
+    Karger's observation: far fewer packed trees are needed when each
+    tree may cross the minimum cut twice.  Centralized reference only
+    (the distributed 2-respecting algorithm is beyond this paper).
+    """
+    from ..packing.greedy import GreedyTreePacking
+
+    graph.require_connected()
+    if graph.number_of_nodes < 2:
+        raise AlgorithmError("minimum cut requires at least two nodes")
+    packing = GreedyTreePacking(graph)
+    best: Optional[TwoRespectResult] = None
+    stale = 0
+    limit = tree_count if tree_count is not None else max_trees
+    while len(packing.trees) < limit:
+        tree = packing.next_tree()
+        candidate = two_respecting_min_cut_reference(graph, tree)
+        if best is None or candidate.best_value < best.best_value - 1e-12:
+            best = candidate
+            stale = 0
+        else:
+            stale += 1
+            if tree_count is None and stale >= patience:
+                break
+    assert best is not None
+    return best

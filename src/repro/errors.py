@@ -1,0 +1,56 @@
+"""Typed exceptions shared across the :mod:`repro` library.
+
+Every failure mode that callers may reasonably want to catch has its own
+exception class; all of them derive from :class:`ReproError` so that
+``except ReproError`` catches any library-raised condition without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding a self-loop, querying an edge that does not exist, or
+    requesting a non-positive edge weight.
+    """
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an algorithm requires a connected graph but got one
+    with two or more connected components."""
+
+
+class TreeError(ReproError):
+    """Raised for invalid rooted-tree operations (cycles in the parent
+    map, unknown nodes, an edge set that is not a spanning tree, ...)."""
+
+
+class CongestError(ReproError):
+    """Base class for CONGEST simulator failures."""
+
+
+class BandwidthExceededError(CongestError):
+    """Raised in strict mode when a node attempts to send more than one
+    message per incident edge per direction in a single round, or a
+    message whose encoded size exceeds the per-round bit budget."""
+
+
+class RoundLimitExceededError(CongestError):
+    """Raised when a distributed program fails to terminate within the
+    configured maximum number of rounds."""
+
+
+class ProtocolError(CongestError):
+    """Raised when a node program violates its own protocol contract,
+    e.g. receives a message type it cannot handle in its current phase."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm's preconditions are violated (bad
+    parameters, unsupported input shape) or an internal invariant fails."""

@@ -1,0 +1,15 @@
+"""Fragment decomposition of spanning trees (system S6 of DESIGN.md).
+
+Implements Step 1 of the paper: partition the input tree into O(√n)
+fragments of O(√n) diameter, both centrally (the default substrate) and
+as a distributed bottom-up protocol on the CONGEST simulator.
+"""
+
+from .partition import FragmentDecomposition, partition_tree
+from .distributed import run_distributed_partition
+
+__all__ = [
+    "FragmentDecomposition",
+    "partition_tree",
+    "run_distributed_partition",
+]

@@ -1,0 +1,211 @@
+"""Distributed bottom-up fragment decomposition on the CONGEST simulator.
+
+This is the message-passing counterpart of
+:func:`repro.fragments.partition.partition_tree`: the same pending-size
+sweep, executed bottom-up over the input tree ``T`` with real messages.
+
+Phases
+------
+1. ``frag:sizes`` — pending sizes convergecast: every node reports its
+   pending-subtree size to its tree parent; a node whose pending size
+   reaches the threshold declares itself a fragment root and reports 0.
+2. ``frag:claim`` — fragment roots flood a claim down their pending
+   children, so every node learns the *root* of its fragment.
+3. ``frag:nbr`` — one exchange round in which every node tells each
+   neighbour its fragment root (so inter-fragment tree edges become
+   locally visible, as the paper assumes after Step 1).
+4. ``frag:minid`` — intra-fragment convergecast + downcast of the
+   minimum member id, establishing ``id(F) = min_{u∈F} id(u)``.
+
+Round cost is O(depth(T) + √n), versus Kutten–Peleg's
+O(√n·log*n + D); the simple variant exists for end-to-end fidelity and
+is validated against the centralized sweep in tests.  Drivers that model
+the paper's cost charge the published bound instead (DESIGN.md §5).
+
+After the phases every node's memory holds::
+
+    frag:root      the fragment root node
+    frag:id        the fragment id (min member id)
+    frag:is_root   bool
+    frag:nbr       {neighbour: its fragment id} for all neighbours
+    fragT:parent / fragT:children   T restricted to the fragment
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..congest.network import CongestNetwork
+from ..congest.node import Inbox, NodeContext, NodeProgram
+from ..primitives.treespec import FRAGMENT_TREE, SPANNING_TREE, TreeSpec
+
+
+class PendingSizePhase(NodeProgram):
+    """Phase 1: pending-size convergecast; fragment roots self-declare."""
+
+    def __init__(self, threshold: int, tree: TreeSpec = SPANNING_TREE) -> None:
+        self.threshold = threshold
+        self.tree = tree
+        self._pending_from: dict = {}
+        self._waiting: set = set()
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._waiting = set(self.tree.children(ctx))
+        if not self._waiting:
+            self._decide(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for src, msg in inbox:
+            if msg.kind == "pend":
+                self._pending_from[src] = msg.payload[0]
+                self._waiting.discard(src)
+        if not self._waiting:
+            self._decide(ctx)
+
+    def _decide(self, ctx: NodeContext) -> None:
+        self._waiting = {None}  # guard against double execution
+        merged = [c for c, size in self._pending_from.items() if size > 0]
+        size = 1 + sum(self._pending_from[c] for c in merged)
+        is_root_of_tree = self.tree.parent(ctx) is None
+        is_frag_root = size >= self.threshold or is_root_of_tree
+        ctx.memory["frag:is_root"] = is_frag_root
+        ctx.memory["frag:merged_children"] = merged
+        if not is_root_of_tree:
+            ctx.send(self.tree.parent(ctx), "pend", 0 if is_frag_root else size)
+
+
+class ClaimPhase(NodeProgram):
+    """Phase 2: fragment roots claim their pending subtrees."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if ctx.memory["frag:is_root"]:
+            ctx.memory["frag:root"] = ctx.node
+            for child in ctx.memory["frag:merged_children"]:
+                ctx.send(child, "claim", _encode_node(ctx.node))
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for _src, msg in inbox:
+            if msg.kind == "claim":
+                frag_root = msg.payload[0]
+                ctx.memory["frag:root"] = frag_root
+                for child in ctx.memory["frag:merged_children"]:
+                    ctx.send(child, "claim", frag_root)
+
+
+class NeighbourExchangePhase(NodeProgram):
+    """Phase 3: every node learns each neighbour's fragment root."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.memory["frag:nbr_root"] = {}
+        ctx.broadcast("myfrag", _encode_node(ctx.memory["frag:root"]))
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for src, msg in inbox:
+            if msg.kind == "myfrag":
+                ctx.memory["frag:nbr_root"][src] = msg.payload[0]
+
+
+class MinIdPhase(NodeProgram):
+    """Phase 4a: convergecast the minimum member id within each fragment."""
+
+    def __init__(self, tree: TreeSpec = SPANNING_TREE) -> None:
+        self.tree = tree
+        self._waiting: set = set()
+        self._best = None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.memory[FRAGMENT_TREE.parent_key] = self._frag_parent(ctx)
+        ctx.memory[FRAGMENT_TREE.children_key] = self._frag_children(ctx)
+        self._waiting = set(ctx.memory[FRAGMENT_TREE.children_key])
+        self._best = ctx.node
+        if not self._waiting:
+            self._report(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for src, msg in inbox:
+            if msg.kind == "minid":
+                self._best = min(self._best, msg.payload[0])
+                self._waiting.discard(src)
+        if not self._waiting:
+            self._report(ctx)
+
+    def _report(self, ctx: NodeContext) -> None:
+        self._waiting = {None}
+        parent = ctx.memory[FRAGMENT_TREE.parent_key]
+        if parent is None:
+            ctx.memory["frag:id"] = self._best
+        else:
+            ctx.send(parent, "minid", self._best)
+
+    def _frag_parent(self, ctx: NodeContext):
+        parent = self.tree.parent(ctx)
+        if parent is None:
+            return None
+        my_root = ctx.memory["frag:root"]
+        return parent if ctx.memory["frag:nbr_root"].get(parent) == my_root else None
+
+    def _frag_children(self, ctx: NodeContext) -> list:
+        my_root = ctx.memory["frag:root"]
+        return [
+            c
+            for c in self.tree.children(ctx)
+            if ctx.memory["frag:nbr_root"].get(c) == my_root
+        ]
+
+
+class IdExchangePhase(NodeProgram):
+    """Phase 5: every node tells each neighbour its fragment *id*."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.memory["frag:nbr"] = {}
+        ctx.broadcast("myfragid", ctx.memory["frag:id"])
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for src, msg in inbox:
+            if msg.kind == "myfragid":
+                ctx.memory["frag:nbr"][src] = msg.payload[0]
+
+
+class IdFloodPhase(NodeProgram):
+    """Phase 4b: flood the fragment id from the fragment root down."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if "frag:id" in ctx.memory:
+            self._spread(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        for _src, msg in inbox:
+            if msg.kind == "fragid" and "frag:id" not in ctx.memory:
+                ctx.memory["frag:id"] = msg.payload[0]
+                self._spread(ctx)
+
+    def _spread(self, ctx: NodeContext) -> None:
+        for child in ctx.memory[FRAGMENT_TREE.children_key]:
+            ctx.send(child, "fragid", ctx.memory["frag:id"])
+
+
+def run_distributed_partition(
+    network: CongestNetwork,
+    threshold: int | None = None,
+    tree: TreeSpec = SPANNING_TREE,
+) -> int:
+    """Run the four partition phases; returns the threshold used.
+
+    Requires the input tree to be loaded into node memory (see
+    :func:`repro.primitives.treespec.load_tree_into_memory`).  Afterwards
+    every node knows its fragment root, fragment id, neighbour fragment
+    roots, and the fragment-restricted tree (``fragT``).
+    """
+    n = network.size
+    s = threshold if threshold is not None else max(1, math.isqrt(max(0, n - 1)) + 1)
+    network.run_phase("frag:sizes", lambda u: PendingSizePhase(s, tree))
+    network.run_phase("frag:claim", lambda u: ClaimPhase())
+    network.run_phase("frag:nbr", lambda u: NeighbourExchangePhase())
+    network.run_phase("frag:minid", lambda u: MinIdPhase(tree))
+    network.run_phase("frag:idflood", lambda u: IdFloodPhase())
+    network.run_phase("frag:idexchange", lambda u: IdExchangePhase())
+    return s
+
+
+def _encode_node(node):
+    return node

@@ -1,0 +1,212 @@
+"""Tree partition into O(√n) fragments of O(√n) diameter (Step 1).
+
+The paper invokes Kutten–Peleg [KP98, §3.2] to split the spanning tree
+``T`` into ``k = O(√n)`` connected subtrees ("fragments") of diameter
+``O(√n)`` — a ``(√n + 1, O(√n))`` spanning forest.  Downstream steps use
+only these *properties* plus "every node knows its fragment", so any
+partition with them is interchangeable (DESIGN.md §5).
+
+We build the partition with the classic bottom-up accumulation: sweep
+``T`` in postorder keeping, at every node, the set of *pending*
+descendants not yet committed to a fragment; once the pending set
+reaches the size threshold ``s = ⌈√n⌉`` (or at the root), it becomes a
+fragment rooted at the current node.  Each child's pending set is a
+connected subtree of fewer than ``s`` nodes, so:
+
+* every fragment is connected with depth < ``s`` (diameter < ``2s``),
+* every non-root fragment has at least ``s`` nodes, so there are at most
+  ``n/s + 1 ≤ √n + 1`` fragments.
+
+Fragment identifiers follow the paper: ``id(F) = min_{u ∈ F} id(u)``.
+
+The same sweep is also implemented as a distributed bottom-up protocol
+in :mod:`repro.fragments.distributed`, for fidelity; the centralized
+version is the default substrate and its round cost is charged as the
+published Kutten–Peleg bound by the drivers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..graphs.trees import RootedTree
+
+Node = Hashable
+
+
+class FragmentDecomposition:
+    """The Step 1 artefact: fragments of ``tree``, their ids and roots.
+
+    Attributes
+    ----------
+    tree:
+        The underlying rooted spanning tree ``T``.
+    threshold:
+        The size threshold ``s`` used by the sweep.
+    root_of:
+        ``{node: fragment root}`` — the root of the fragment containing
+        each node (the fragment member closest to ``T``'s root).
+    members:
+        ``{fragment root: set of member nodes}``.
+    """
+
+    def __init__(self, tree: RootedTree, threshold: int, root_of: dict[Node, Node]):
+        self.tree = tree
+        self.threshold = threshold
+        self.root_of = root_of
+        self.members: dict[Node, set[Node]] = {}
+        for node, frag_root in root_of.items():
+            self.members.setdefault(frag_root, set()).add(node)
+        self._id_of_root = {
+            frag_root: min(members) for frag_root, members in self.members.items()
+        }
+        self._root_of_id = {fid: fr for fr, fid in self._id_of_root.items()}
+        if len(self._root_of_id) != len(self._id_of_root):
+            raise AlgorithmError("fragment min-ids collide; ids must be unique")
+
+    # ------------------------------------------------------------------
+    @property
+    def fragment_count(self) -> int:
+        return len(self.members)
+
+    def fragment_id(self, node: Node) -> Node:
+        """``id(F)`` of the fragment containing ``node`` (its min member)."""
+        return self._id_of_root[self.root_of[node]]
+
+    def fragment_ids(self) -> list[Node]:
+        return sorted(self._root_of_id)
+
+    def fragment_root(self, fragment_id: Node) -> Node:
+        """The member of the fragment nearest to the tree root."""
+        return self._root_of_id[fragment_id]
+
+    def members_of(self, fragment_id: Node) -> set[Node]:
+        return set(self.members[self._root_of_id[fragment_id]])
+
+    def same_fragment(self, u: Node, v: Node) -> bool:
+        return self.root_of[u] == self.root_of[v]
+
+    def parent_fragment(self, fragment_id: Node) -> Optional[Node]:
+        """Id of the parent fragment in ``T_F`` (None for the root
+        fragment)."""
+        frag_root = self._root_of_id[fragment_id]
+        parent = self.tree.parent(frag_root)
+        if parent is None:
+            return None
+        return self.fragment_id(parent)
+
+    def fragment_tree(self) -> RootedTree:
+        """The fragment tree ``T_F``: contract each fragment to one node.
+
+        Nodes of the returned tree are fragment ids; the root is the
+        fragment containing ``T``'s root.
+        """
+        parent_map: dict[Node, Node] = {}
+        root_fragment = self.fragment_id(self.tree.root)
+        for fid in self.fragment_ids():
+            parent_fid = self.parent_fragment(fid)
+            if parent_fid is not None:
+                parent_map[fid] = parent_fid
+        tf = RootedTree(root_fragment, parent_map)
+        return tf
+
+    def inter_fragment_edges(self) -> list[tuple[Node, Node]]:
+        """Tree edges ``(child, parent)`` that cross fragments; there are
+        exactly ``fragment_count - 1`` of them."""
+        return [
+            (child, parent)
+            for child, parent in self.tree.edges()
+            if self.root_of[child] != self.root_of[parent]
+        ]
+
+    # ------------------------------------------------------------------
+    def intra_fragment_depth(self, node: Node) -> int:
+        """Depth of ``node`` within its fragment (0 at the fragment root)."""
+        depth = 0
+        frag_root = self.root_of[node]
+        while node != frag_root:
+            node = self.tree.parent(node)
+            depth += 1
+        return depth
+
+    def fragment_diameter(self, fragment_id: Node) -> int:
+        """Worst-case intra-fragment tree distance (≤ 2·max depth)."""
+        members = self.members_of(fragment_id)
+        depths = [self.intra_fragment_depth(u) for u in members]
+        return 2 * max(depths) if depths else 0
+
+    def validate(self) -> None:
+        """Check every Step 1 property; raise :class:`AlgorithmError` on
+        violation.  Used by tests and the strict drivers."""
+        n = len(self.tree)
+        if set(self.root_of) != set(self.tree.nodes):
+            raise AlgorithmError("partition does not cover every tree node")
+        s = self.threshold
+        if self.fragment_count > n // max(1, s) + 1 and self.fragment_count > math.isqrt(n) + 1:
+            raise AlgorithmError(
+                f"too many fragments: {self.fragment_count} for n={n}, s={s}"
+            )
+        for fid in self.fragment_ids():
+            frag_root = self._root_of_id[fid]
+            members = self.members_of(fid)
+            if fid != min(members):
+                raise AlgorithmError(f"fragment id {fid!r} is not the min member")
+            # Connectivity: walking up from any member reaches the
+            # fragment root without leaving the fragment.
+            for u in members:
+                steps = 0
+                x = u
+                while x != frag_root:
+                    x = self.tree.parent(x)
+                    steps += 1
+                    if x not in members:
+                        raise AlgorithmError(
+                            f"fragment {fid!r} is not connected at {u!r}"
+                        )
+                    if steps > 2 * s + 2:
+                        raise AlgorithmError(
+                            f"fragment {fid!r} is too deep at {u!r}"
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FragmentDecomposition(fragments={self.fragment_count}, "
+            f"threshold={self.threshold})"
+        )
+
+
+def partition_tree(tree: RootedTree, threshold: Optional[int] = None) -> FragmentDecomposition:
+    """Partition ``tree`` into fragments (see module docstring).
+
+    ``threshold`` defaults to ``⌈√n⌉``; passing an explicit value lets
+    tests and benchmarks explore the trade-off (e.g. fragment counts vs
+    fragment diameter).
+    """
+    n = len(tree)
+    s = threshold if threshold is not None else max(1, math.isqrt(n - 1) + 1)
+    if s < 1:
+        raise AlgorithmError(f"threshold must be at least 1, got {s}")
+    pending_size: dict[Node, int] = {}
+    pending_children: dict[Node, list[Node]] = {}
+    root_of: dict[Node, Node] = {}
+
+    def commit(fragment_root: Node) -> None:
+        """Assign fragment_root's pending subtree to a new fragment."""
+        stack = [fragment_root]
+        while stack:
+            x = stack.pop()
+            root_of[x] = fragment_root
+            stack.extend(pending_children.pop(x, ()))
+        pending_size[fragment_root] = 0
+
+    for v in tree.postorder():
+        kids = [c for c in tree.children(v) if pending_size.get(c, 0) > 0]
+        size = 1 + sum(pending_size[c] for c in kids)
+        pending_children[v] = kids
+        pending_size[v] = size
+        if size >= s or v == tree.root:
+            commit(v)
+    return FragmentDecomposition(tree, s, root_of)

@@ -1,0 +1,448 @@
+"""Graph families used by the tests, examples and benchmark harness.
+
+All generators are deterministic given a ``seed`` and return
+:class:`~repro.graphs.graph.WeightedGraph` instances with integer nodes
+``0..n-1``.  They cover the workloads the evaluation needs:
+
+* structured topologies (paths, cycles, grids, complete graphs, stars),
+* random models (Erdős–Rényi, random regular, random trees via Prüfer),
+* *planted-cut* families where the minimum cut value is known by
+  construction — the workhorse of the exactness experiments (E2, E4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..errors import AlgorithmError, GraphError
+from .graph import Node, WeightedGraph
+from .trees import RootedTree
+
+
+# ----------------------------------------------------------------------
+# Structured families
+# ----------------------------------------------------------------------
+def path_graph(n: int, weight: float = 1.0) -> WeightedGraph:
+    """The path ``0 - 1 - ... - n-1`` (min cut = ``weight``, D = n-1)."""
+    _require_positive(n)
+    g = WeightedGraph()
+    g.add_node(0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight)
+    return g
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> WeightedGraph:
+    """The cycle on ``n >= 3`` nodes (min cut = ``2 * weight``)."""
+    if n < 3:
+        raise GraphError("a cycle needs at least three nodes")
+    g = path_graph(n, weight)
+    g.add_edge(n - 1, 0, weight)
+    return g
+
+
+def complete_graph(n: int, weight: float = 1.0) -> WeightedGraph:
+    """K_n (min cut = ``(n-1) * weight``, D = 1)."""
+    _require_positive(n)
+    g = WeightedGraph()
+    g.add_node(0)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, weight)
+    return g
+
+
+def star_graph(n: int, weight: float = 1.0) -> WeightedGraph:
+    """Star with centre ``0`` and ``n - 1`` leaves (min cut = ``weight``)."""
+    _require_positive(n)
+    g = WeightedGraph()
+    g.add_node(0)
+    for leaf in range(1, n):
+        g.add_edge(0, leaf, weight)
+    return g
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> WeightedGraph:
+    """The ``rows x cols`` grid; node ``(r, c)`` is numbered ``r*cols + c``.
+
+    Minimum cut is ``min(rows, cols) >= 2`` corner cuts aside — for the
+    benchmark we only rely on its diameter ``rows + cols - 2`` and size.
+    """
+    _require_positive(rows)
+    _require_positive(cols)
+    g = WeightedGraph()
+    g.add_node(0)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1, weight)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols, weight)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+def gnp_random_graph(
+    n: int,
+    p: float,
+    seed: int = 0,
+    weight_range: tuple[float, float] = (1.0, 1.0),
+) -> WeightedGraph:
+    """Erdős–Rényi G(n, p) with optional uniform random weights.
+
+    The graph may be disconnected; use :func:`connected_gnp_graph` when an
+    algorithm requires connectivity.
+    """
+    _require_positive(n)
+    if not 0.0 <= p <= 1.0:
+        raise AlgorithmError(f"edge probability must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    lo, hi = weight_range
+    g = WeightedGraph()
+    for u in range(n):
+        g.add_node(u)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                w = lo if lo == hi else rng.uniform(lo, hi)
+                g.add_edge(u, v, w)
+    return g
+
+
+def connected_gnp_graph(
+    n: int,
+    p: float,
+    seed: int = 0,
+    weight_range: tuple[float, float] = (1.0, 1.0),
+    max_attempts: int = 200,
+) -> WeightedGraph:
+    """G(n, p) conditioned on connectivity (rejection sampling)."""
+    for attempt in range(max_attempts):
+        g = gnp_random_graph(n, p, seed=seed + attempt, weight_range=weight_range)
+        if g.is_connected():
+            return g
+    raise AlgorithmError(
+        f"no connected G({n}, {p}) sample in {max_attempts} attempts; "
+        "increase p"
+    )
+
+
+def random_regular_graph(n: int, d: int, seed: int = 0, max_attempts: int = 500) -> WeightedGraph:
+    """A simple ``d``-regular graph via the configuration model.
+
+    Rejection-samples perfect matchings of node stubs until the result is
+    simple (no self-loops or parallel edges).  ``n * d`` must be even.
+    """
+    _require_positive(n)
+    if d < 0 or d >= n:
+        raise AlgorithmError(f"degree must satisfy 0 <= d < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise AlgorithmError("n * d must be even for a d-regular graph")
+    rng = random.Random(seed)
+    stubs = [u for u in range(n) for _ in range(d)]
+    for _ in range(max_attempts):
+        rng.shuffle(stubs)
+        pairs = [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+        if any(u == v for u, v in pairs):
+            continue
+        keys = {(min(u, v), max(u, v)) for u, v in pairs}
+        if len(keys) != len(pairs):
+            continue
+        g = WeightedGraph()
+        for u in range(n):
+            g.add_node(u)
+        for u, v in pairs:
+            g.add_edge(u, v)
+        return g
+    raise AlgorithmError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes"
+    )
+
+
+def random_tree(n: int, seed: int = 0) -> RootedTree:
+    """A uniformly random labelled tree (Prüfer decoding), rooted at 0."""
+    _require_positive(n)
+    if n == 1:
+        return RootedTree(0, {})
+    if n == 2:
+        return RootedTree(0, {1: 0})
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for x in prufer:
+        degree[x] += 1
+    edges: list[tuple[int, int]] = []
+    # Min-leaf Prüfer decoding using a simple pointer scan.
+    import heapq
+
+    leaves = [u for u in range(n) if degree[u] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return RootedTree.from_edges(0, edges)
+
+
+def random_spanning_tree(graph: WeightedGraph, seed: int = 0) -> RootedTree:
+    """A random spanning tree of ``graph`` (random-weight MST heuristic).
+
+    Assign i.i.d. uniform weights to edges and keep the lightest spanning
+    tree; this is not uniform over spanning trees but is fast, simple and
+    well-spread — all the packing experiments need.
+    """
+    graph.require_connected()
+    rng = random.Random(seed)
+    edges = sorted(
+        ((rng.random(), u, v) for u, v, _ in graph.edges()),
+        key=lambda t: t[0],
+    )
+    parent_ds: dict[Node, Node] = {u: u for u in graph.nodes}
+
+    def find(x: Node) -> Node:
+        while parent_ds[x] != x:
+            parent_ds[x] = parent_ds[parent_ds[x]]
+            x = parent_ds[x]
+        return x
+
+    chosen: list[tuple[Node, Node]] = []
+    for _, u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent_ds[ru] = rv
+            chosen.append((u, v))
+    root = graph.nodes[0]
+    return RootedTree.from_edges(root, chosen)
+
+
+# ----------------------------------------------------------------------
+# Planted-cut families (ground-truth minimum cuts)
+# ----------------------------------------------------------------------
+def planted_cut_graph(
+    side_sizes: tuple[int, int],
+    cut_value: int,
+    seed: int = 0,
+    intra_p: float = 0.8,
+) -> WeightedGraph:
+    """Two dense blobs joined by exactly ``cut_value`` unit edges.
+
+    Each side is a G(s, intra_p) sample *forced* connected by a Hamiltonian
+    path, and every side node additionally gets enough intra-side edges to
+    push its degree above ``cut_value``, so the planted bipartition is the
+    unique minimum cut (value exactly ``cut_value``) whenever
+    ``cut_value < min(side) - 1`` and ``intra_p`` is not tiny.
+
+    Returns the graph; the planted side is ``{0, ..., side_sizes[0]-1}``.
+    """
+    left, right = side_sizes
+    if left < 2 or right < 2:
+        raise AlgorithmError("each side needs at least two nodes")
+    if cut_value < 1:
+        raise AlgorithmError("cut_value must be at least 1")
+    rng = random.Random(seed)
+    g = WeightedGraph()
+    for u in range(left + right):
+        g.add_node(u)
+
+    def fill_side(lo: int, hi: int) -> None:
+        for u in range(lo, hi - 1):
+            g.add_edge(u, u + 1)
+        for u in range(lo, hi):
+            for v in range(u + 2, hi):
+                if rng.random() < intra_p:
+                    g.add_edge(u, v)
+
+    fill_side(0, left)
+    fill_side(left, left + right)
+    # Exactly cut_value crossing edges, distinct pairs.
+    crossing: set[tuple[int, int]] = set()
+    while len(crossing) < cut_value:
+        u = rng.randrange(0, left)
+        v = rng.randrange(left, left + right)
+        crossing.add((u, v))
+    for u, v in sorted(crossing):
+        g.add_edge(u, v)
+    return g
+
+
+def planted_cut_sides(side_sizes: tuple[int, int]) -> set[int]:
+    """The planted side of :func:`planted_cut_graph` (left community)."""
+    return set(range(side_sizes[0]))
+
+
+def cycle_power_graph(n: int, k: int) -> WeightedGraph:
+    """The ``k``-th power of a cycle: connect nodes at ring distance <= k.
+
+    Every node has degree ``2k`` and the minimum cut is exactly ``2k``
+    (singleton cuts; severing a longer arc costs ``k(k+1) ≥ 2k``), giving
+    a clean family where λ grows linearly in the parameter — used by the
+    rounds-vs-λ experiment (E2).
+    """
+    if n < 2 * k + 2:
+        raise AlgorithmError("cycle power needs n >= 2k + 2")
+    g = WeightedGraph()
+    for u in range(n):
+        g.add_node(u)
+    for u in range(n):
+        for offset in range(1, k + 1):
+            g.add_edge(u, (u + offset) % n)
+    return g
+
+
+def weighted_ring_of_cliques(
+    clique_count: int,
+    clique_size: int,
+    bridge_weight: float = 1.0,
+) -> WeightedGraph:
+    """``clique_count`` cliques arranged in a ring, adjacent cliques joined
+    by one edge of weight ``bridge_weight``.
+
+    Minimum cut = ``2 * bridge_weight`` (snip the ring), provided
+    ``clique_size >= 3`` and ``bridge_weight`` small; useful for weighted
+    cut tests with a known answer.
+    """
+    if clique_count < 3:
+        raise AlgorithmError("need at least three cliques for a ring")
+    if clique_size < 3:
+        raise AlgorithmError("cliques must have at least three nodes")
+    g = WeightedGraph()
+    for c in range(clique_count):
+        base = c * clique_size
+        for u in range(base, base + clique_size):
+            for v in range(u + 1, base + clique_size):
+                g.add_edge(u, v)
+    for c in range(clique_count):
+        u = c * clique_size
+        v = ((c + 1) % clique_count) * clique_size + 1
+        g.add_edge(u, v, bridge_weight)
+    return g
+
+
+def barbell_graph(side: int, bridges: int = 1) -> WeightedGraph:
+    """Two K_side cliques joined by ``bridges`` unit edges (min cut = bridges
+    when ``bridges < side - 1``)."""
+    if side < 3:
+        raise AlgorithmError("each bell needs at least three nodes")
+    if not 1 <= bridges <= side:
+        raise AlgorithmError("bridges must be between 1 and side")
+    g = WeightedGraph()
+    for u in range(side):
+        for v in range(u + 1, side):
+            g.add_edge(u, v)
+            g.add_edge(side + u, side + v)
+    for i in range(bridges):
+        g.add_edge(i, side + i)
+    return g
+
+
+def hypercube_graph(dimension: int) -> WeightedGraph:
+    """The ``d``-dimensional hypercube Q_d (min cut = d: corner cuts).
+
+    Node ``i``'s neighbours differ in exactly one bit.  Edge
+    connectivity equals the degree ``d``, and the diameter is ``d`` —
+    a family where λ and D grow together while n = 2^d explodes.
+    """
+    if dimension < 1:
+        raise AlgorithmError("hypercube dimension must be at least 1")
+    g = WeightedGraph()
+    n = 1 << dimension
+    for u in range(n):
+        g.add_node(u)
+        for bit in range(dimension):
+            v = u ^ (1 << bit)
+            if v > u:
+                g.add_edge(u, v)
+    return g
+
+
+def torus_graph(rows: int, cols: int) -> WeightedGraph:
+    """The ``rows × cols`` torus (grid with wraparound).
+
+    4-regular for rows, cols ≥ 3; minimum cut 4 (singletons) — a
+    constant-λ family with diameter Θ(rows + cols).
+    """
+    if rows < 3 or cols < 3:
+        raise AlgorithmError("torus needs both dimensions at least 3")
+    g = WeightedGraph()
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            g.add_edge(u, r * cols + (c + 1) % cols)
+            g.add_edge(u, ((r + 1) % rows) * cols + c)
+    return g
+
+
+def caveman_graph(caves: int, cave_size: int) -> WeightedGraph:
+    """Connected caveman graph: ``caves`` cliques in a ring, adjacent
+    cliques sharing one *rewired* edge (an edge of each clique is
+    redirected to the next clique).
+
+    Minimum cut 2 (snip the ring) — the classic community-structure
+    stress test for cut algorithms.
+    """
+    if caves < 3:
+        raise AlgorithmError("need at least three caves")
+    if cave_size < 3:
+        raise AlgorithmError("caves need at least three nodes")
+    g = WeightedGraph()
+    for c in range(caves):
+        base = c * cave_size
+        for u in range(base, base + cave_size):
+            for v in range(u + 1, base + cave_size):
+                g.add_edge(u, v)
+    for c in range(caves):
+        u = c * cave_size            # a designated member of cave c
+        v = ((c + 1) % caves) * cave_size + 1
+        g.remove_edge(u, u + 1)      # rewire one intra-cave edge...
+        g.add_edge(u, v)             # ...to the next cave
+    return g
+
+
+def _require_positive(n: int) -> None:
+    if n <= 0:
+        raise AlgorithmError(f"size must be positive, got {n}")
+
+
+FAMILY_BUILDERS = {
+    "path": lambda n, seed=0: path_graph(n),
+    "cycle": lambda n, seed=0: cycle_graph(max(3, n)),
+    "complete": lambda n, seed=0: complete_graph(n),
+    "star": lambda n, seed=0: star_graph(n),
+    "grid": lambda n, seed=0: grid_graph(_near_square(n), _near_square(n)),
+    "gnp": lambda n, seed=0: connected_gnp_graph(n, min(1.0, 4.0 * _log2(n) / n), seed=seed),
+    "regular": lambda n, seed=0: random_regular_graph(n - (n % 2), 4, seed=seed),
+    "hypercube": lambda n, seed=0: hypercube_graph(max(2, (max(2, n) - 1).bit_length())),
+    "torus": lambda n, seed=0: torus_graph(max(3, _near_square(n)), max(3, _near_square(n))),
+    "caveman": lambda n, seed=0: caveman_graph(max(3, n // 6), 6),
+}
+"""Named builders used by the benchmark sweeps (``n`` is approximate for
+the grid family, which rounds to the nearest square)."""
+
+
+def _near_square(n: int) -> int:
+    side = max(2, round(n ** 0.5))
+    return side
+
+
+def _log2(n: int) -> float:
+    import math
+
+    return math.log2(max(2, n))
+
+
+def build_family(name: str, n: int, seed: int = 0) -> WeightedGraph:
+    """Instantiate one of the named benchmark families at size ~``n``."""
+    if name not in FAMILY_BUILDERS:
+        raise AlgorithmError(
+            f"unknown family {name!r}; choose from {sorted(FAMILY_BUILDERS)}"
+        )
+    return FAMILY_BUILDERS[name](n, seed=seed)

@@ -1,0 +1,284 @@
+"""Weighted undirected graph used by every algorithm in the library.
+
+The representation is a plain adjacency map ``{u: {v: weight}}``.  Parallel
+edges are merged by *summing* weights, which is the correct semantics for
+cut problems: the capacity crossing a cut is the total weight of crossing
+edges, so a multigraph and its weighted simple projection have identical
+cut functions.
+
+Design notes
+------------
+* Nodes may be any hashable object, although the generators in
+  :mod:`repro.graphs.generators` produce consecutive integers.
+* Weights must be strictly positive (zero-weight edges are cut-irrelevant
+  and would poison minimum-spanning-tree tie-breaking).
+* The class is deliberately small and dependency-free; ``networkx`` enters
+  the code base only through :mod:`repro.graphs.io` conversion helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+from ..errors import DisconnectedGraphError, GraphError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+WeightedEdge = tuple[Node, Node, float]
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Return a canonical (order-independent) key for the edge ``{u, v}``.
+
+    Sorting is done on ``repr`` when the nodes are not mutually orderable,
+    so mixed node types never raise.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class WeightedGraph:
+    """An undirected graph with strictly positive edge weights.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` or ``(u, v, weight)`` tuples used
+        to populate the graph.  Parallel edges are merged by summing.
+    """
+
+    def __init__(self, edges: Optional[Iterable] = None) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+        if edges is not None:
+            for edge in edges:
+                if len(edge) == 2:
+                    u, v = edge
+                    self.add_edge(u, v)
+                else:
+                    u, v, w = edge
+                    self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, u: Node) -> None:
+        """Insert an isolated node ``u`` (no-op if already present)."""
+        self._adj.setdefault(u, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Insert the undirected edge ``{u, v}``.
+
+        If the edge already exists its weight is *increased* by ``weight``
+        (multigraph-merge semantics).  Self-loops are rejected because
+        they can never cross a cut.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        self.add_node(u)
+        self.add_node(v)
+        new_weight = self._adj[u].get(v, 0.0) + weight
+        self._adj[u][v] = new_weight
+        self._adj[v][u] = new_weight
+
+    def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Overwrite the weight of an existing edge ``{u, v}``."""
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete the edge ``{u, v}``; raise :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def remove_node(self, u: Node) -> None:
+        """Delete node ``u`` and all incident edges."""
+        if u not in self._adj:
+            raise GraphError(f"node {u!r} does not exist")
+        for v in list(self._adj[u]):
+            del self._adj[v][u]
+        del self._adj[u]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def number_of_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``{u, v}``; raises if the edge is absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        return self._adj[u][v]
+
+    def neighbors(self, u: Node) -> list[Node]:
+        """Neighbours of ``u`` in insertion order."""
+        if u not in self._adj:
+            raise GraphError(f"node {u!r} does not exist")
+        return list(self._adj[u])
+
+    def degree(self, u: Node) -> int:
+        """Number of incident edges (unweighted degree)."""
+        if u not in self._adj:
+            raise GraphError(f"node {u!r} does not exist")
+        return len(self._adj[u])
+
+    def weighted_degree(self, u: Node) -> float:
+        """Total weight of edges incident to ``u`` — δ(u) in the paper."""
+        if u not in self._adj:
+            raise GraphError(f"node {u!r} does not exist")
+        return sum(self._adj[u].values())
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over every undirected edge exactly once as ``(u, v, w)``."""
+        seen: set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v, w)
+
+    def edge_list(self) -> list[WeightedEdge]:
+        """Materialised, canonically sorted list of edges (stable output)."""
+        return sorted(
+            ((min(u, v), max(u, v), w) for u, v, w in self.edges()),
+            key=lambda e: (repr(e[0]), repr(e[1])),
+        ) if not all(isinstance(n, int) for n in self._adj) else sorted(
+            ((u, v, w) if u <= v else (v, u, w) for u, v, w in self.edges())
+        )
+
+    # ------------------------------------------------------------------
+    # Cut machinery
+    # ------------------------------------------------------------------
+    def cut_value(self, node_set: Iterable[Node]) -> float:
+        """Total weight of edges with exactly one endpoint in ``node_set``.
+
+        This is the function ``C(X)`` defined in Section 1 of the paper.
+        Nodes of ``node_set`` that are not in the graph raise
+        :class:`GraphError`; an empty or full set raises
+        :class:`GraphError` because the paper's minimisation excludes the
+        trivial cuts.
+        """
+        members = set(node_set)
+        for u in members:
+            if u not in self._adj:
+                raise GraphError(f"node {u!r} does not exist")
+        if not members or len(members) == len(self._adj):
+            raise GraphError("cut side must be a proper nonempty node subset")
+        total = 0.0
+        for u in members:
+            for v, w in self._adj[u].items():
+                if v not in members:
+                    total += w
+        return total
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "WeightedGraph":
+        """Deep copy (adjacency maps are duplicated; nodes are shared)."""
+        clone = WeightedGraph()
+        for u in self._adj:
+            clone.add_node(u)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub = WeightedGraph()
+        for u in keep:
+            if u not in self._adj:
+                raise GraphError(f"node {u!r} does not exist")
+            sub.add_node(u)
+        for u, v, w in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def reweighted(self, weight_of) -> "WeightedGraph":
+        """A copy whose edge ``(u, v)`` has weight ``weight_of(u, v, w)``.
+
+        Used by the tree-packing code to build load-based metrics.
+        """
+        clone = WeightedGraph()
+        for u in self._adj:
+            clone.add_node(u)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, weight_of(u, v, w))
+        return clone
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[set[Node]]:
+        """Connected components as a list of node sets (BFS-based)."""
+        remaining = set(self._adj)
+        components: list[set[Node]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                nxt: list[Node] = []
+                for u in frontier:
+                    for v in self._adj[u]:
+                        if v not in seen:
+                            seen.add(v)
+                            nxt.append(v)
+                frontier = nxt
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    def is_connected(self) -> bool:
+        """True when the graph has exactly one connected component."""
+        return len(self._adj) > 0 and len(self.connected_components()) == 1
+
+    def require_connected(self) -> None:
+        """Raise :class:`DisconnectedGraphError` unless connected."""
+        if not self.is_connected():
+            raise DisconnectedGraphError(
+                "algorithm requires a connected graph with at least one node"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedGraph(n={self.number_of_nodes}, "
+            f"m={self.number_of_edges})"
+        )

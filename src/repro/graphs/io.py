@@ -1,0 +1,85 @@
+"""Graph serialisation and (optional) networkx interoperability.
+
+The edge-list format is one edge per line: ``u v weight``.  Node labels
+are written with ``repr`` round-tripping restricted to integers and
+strings so files stay human-editable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..errors import GraphError
+from .graph import WeightedGraph
+
+
+def write_edge_list(graph: WeightedGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Isolated nodes are recorded on their own line as ``node`` with no
+    weight so they survive a round trip.
+    """
+    lines: list[str] = []
+    with_edges = set()
+    for u, v, w in graph.edges():
+        with_edges.add(u)
+        with_edges.add(v)
+        lines.append(f"{u} {v} {w!r}")
+    for u in graph.nodes:
+        if u not in with_edges:
+            lines.append(f"{u}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: Union[str, Path]) -> WeightedGraph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Node tokens that parse as integers become ``int`` nodes; everything
+    else stays a string.
+    """
+    graph = WeightedGraph()
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            graph.add_node(_parse_node(parts[0]))
+        elif len(parts) == 3:
+            u, v, w = _parse_node(parts[0]), _parse_node(parts[1]), float(parts[2])
+            graph.add_edge(u, v, w)
+        else:
+            raise GraphError(f"malformed edge-list line: {raw!r}")
+    return graph
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def to_networkx(graph: WeightedGraph):
+    """Convert to a ``networkx.Graph`` (weights under the ``"weight"`` key).
+
+    Raises :class:`ImportError` when networkx is unavailable; the core
+    library never requires it.
+    """
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes)
+    nx_graph.add_weighted_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_networkx(nx_graph) -> WeightedGraph:
+    """Convert a ``networkx.Graph``; missing weights default to 1.0."""
+    graph = WeightedGraph()
+    for u in nx_graph.nodes:
+        graph.add_node(u)
+    for u, v, data in nx_graph.edges(data=True):
+        graph.add_edge(u, v, float(data.get("weight", 1.0)))
+    return graph

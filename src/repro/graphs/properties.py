@@ -1,0 +1,129 @@
+"""Structural graph measurements: distances, diameter, degree statistics.
+
+These are centralized helpers used to (a) parameterise experiments — the
+paper's bounds are stated in terms of ``n`` and the network diameter ``D``
+— and (b) cross-check the distributed BFS implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import DisconnectedGraphError, GraphError
+from .graph import Node, WeightedGraph
+
+
+def bfs_distances(graph: WeightedGraph, source: Node) -> dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    if source not in graph:
+        raise GraphError(f"node {source!r} does not exist")
+    dist = {source: 0}
+    frontier = [source]
+    while frontier:
+        nxt: list[Node] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def bfs_tree_parents(graph: WeightedGraph, source: Node) -> dict[Node, Node]:
+    """Parent pointers of a BFS tree rooted at ``source`` (ties broken by
+    discovery order, which follows adjacency insertion order)."""
+    if source not in graph:
+        raise GraphError(f"node {source!r} does not exist")
+    parent: dict[Node, Node] = {}
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        nxt: list[Node] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    parent[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    return parent
+
+
+def eccentricity(graph: WeightedGraph, source: Node) -> int:
+    """Maximum hop distance from ``source``; requires connectivity."""
+    dist = bfs_distances(graph, source)
+    if len(dist) != graph.number_of_nodes:
+        raise DisconnectedGraphError("eccentricity undefined on disconnected graphs")
+    return max(dist.values())
+
+
+def diameter(graph: WeightedGraph, exact_threshold: int = 600) -> int:
+    """Hop diameter ``D``.
+
+    Exact (all-pairs BFS) for graphs up to ``exact_threshold`` nodes;
+    beyond that, a double-sweep lower bound is used, which is exact on
+    trees and extremely tight on the benchmark families.  The returned
+    value is only used to *report* D next to measured round counts.
+    """
+    graph.require_connected()
+    nodes = graph.nodes
+    if len(nodes) <= exact_threshold:
+        return max(eccentricity(graph, u) for u in nodes)
+    start = nodes[0]
+    dist = bfs_distances(graph, start)
+    far = max(dist, key=dist.__getitem__)
+    dist2 = bfs_distances(graph, far)
+    return max(dist2.values())
+
+
+def degree_statistics(graph: WeightedGraph) -> dict[str, float]:
+    """Min / max / mean unweighted degree and min weighted degree.
+
+    The minimum weighted degree is a trivial upper bound on the minimum
+    cut (cut a single node off), used as a sanity check everywhere.
+    """
+    if graph.number_of_nodes == 0:
+        raise GraphError("degree statistics of an empty graph are undefined")
+    degrees = [graph.degree(u) for u in graph.nodes]
+    weighted = [graph.weighted_degree(u) for u in graph.nodes]
+    return {
+        "min_degree": float(min(degrees)),
+        "max_degree": float(max(degrees)),
+        "mean_degree": sum(degrees) / len(degrees),
+        "min_weighted_degree": float(min(weighted)),
+    }
+
+
+def min_weighted_degree(graph: WeightedGraph) -> float:
+    """``min_v δ(v)`` — the singleton-cut upper bound on λ."""
+    return degree_statistics(graph)["min_weighted_degree"]
+
+
+def edge_connectivity_upper_bound(graph: WeightedGraph) -> float:
+    """A cheap upper bound on λ (currently the singleton bound)."""
+    return min_weighted_degree(graph)
+
+
+def is_spanning_tree(graph: WeightedGraph, edges: Iterable[tuple[Node, Node]]) -> bool:
+    """True when ``edges`` form a spanning tree of ``graph``'s node set."""
+    edge_list = list(edges)
+    node_set = set(graph.nodes)
+    if len(edge_list) != len(node_set) - 1:
+        return False
+    parent: dict[Node, Node] = {u: u for u in node_set}
+
+    def find(x: Node) -> Node:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edge_list:
+        if u not in node_set or v not in node_set or not graph.has_edge(u, v):
+            return False
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False
+        parent[ru] = rv
+    return True

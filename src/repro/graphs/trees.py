@@ -1,0 +1,315 @@
+"""Rooted spanning trees: the combinatorial object at the heart of the paper.
+
+A :class:`RootedTree` stores the parent map of a tree rooted at ``root``
+and exposes exactly the notions Section 2 of the paper works with:
+
+* ``v↓`` — the descendant set of ``v`` (:meth:`RootedTree.subtree`),
+* tree edges, depths, pre/post orderings,
+* least common ancestors (binary lifting — the *centralized reference*
+  against which the distributed LCA of Step 5 is validated).
+
+The class is immutable after construction, which lets expensive artefacts
+(orderings, lifting tables) be computed lazily and cached safely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+from ..errors import TreeError
+from .graph import WeightedGraph
+
+Node = Hashable
+
+
+class RootedTree:
+    """A rooted tree given by a ``{child: parent}`` map.
+
+    Parameters
+    ----------
+    root:
+        The root node (its parent is ``None`` implicitly).
+    parent:
+        Mapping from every non-root node to its parent.  The transitive
+        closure must reach ``root`` from every node; cycles or unknown
+        parents raise :class:`TreeError`.
+    """
+
+    def __init__(self, root: Node, parent: Mapping[Node, Node]) -> None:
+        if root in parent:
+            raise TreeError("the root must not appear as a key of the parent map")
+        self._root = root
+        self._parent: dict[Node, Node] = dict(parent)
+        self._children: dict[Node, list[Node]] = {root: []}
+        for child in self._parent:
+            self._children.setdefault(child, [])
+        for child, par in self._parent.items():
+            if par not in self._children:
+                raise TreeError(f"parent {par!r} of {child!r} is not a tree node")
+            self._children[par].append(child)
+        self._depth = self._compute_depths()
+        # Lazily built caches.
+        self._preorder: Optional[list[Node]] = None
+        self._postorder: Optional[list[Node]] = None
+        self._euler: Optional[list[Node]] = None
+        self._lift: Optional[dict[Node, list[Node]]] = None
+
+    def _compute_depths(self) -> dict[Node, int]:
+        """BFS from the root; validates that the parent map is acyclic
+        and spanning (every node reachable from the root)."""
+        depth = {self._root: 0}
+        frontier = [self._root]
+        while frontier:
+            nxt: list[Node] = []
+            for u in frontier:
+                for c in self._children[u]:
+                    depth[c] = depth[u] + 1
+                    nxt.append(c)
+            frontier = nxt
+        if len(depth) != len(self._children):
+            unreached = set(self._children) - set(depth)
+            raise TreeError(
+                f"parent map contains a cycle or disconnected part; "
+                f"{len(unreached)} node(s) unreachable from root"
+            )
+        return depth
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, root: Node, edges: Iterable[tuple[Node, Node]]) -> "RootedTree":
+        """Build a rooted tree from an undirected edge list.
+
+        The edges must form a tree containing ``root``; orientation is
+        derived by a BFS from the root.
+        """
+        adjacency: dict[Node, list[Node]] = {root: []}
+        edge_count = 0
+        for u, v in edges:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+            edge_count += 1
+        if edge_count != len(adjacency) - 1:
+            raise TreeError(
+                f"{edge_count} edges cannot form a tree on {len(adjacency)} nodes"
+            )
+        parent: dict[Node, Node] = {}
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            nxt: list[Node] = []
+            for u in frontier:
+                for v in adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        parent[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        if len(seen) != len(adjacency):
+            raise TreeError("edge list is disconnected from the root")
+        return cls(root, parent)
+
+    @classmethod
+    def path(cls, n: int) -> "RootedTree":
+        """The path ``0 - 1 - ... - n-1`` rooted at ``0`` (worst-case depth)."""
+        if n <= 0:
+            raise TreeError("a path tree needs at least one node")
+        return cls(0, {i: i - 1 for i in range(1, n)})
+
+    @classmethod
+    def star(cls, n: int) -> "RootedTree":
+        """The star with centre ``0`` and leaves ``1..n-1`` (depth one)."""
+        if n <= 0:
+            raise TreeError("a star tree needs at least one node")
+        return cls(0, {i: 0 for i in range(1, n)})
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Node:
+        return self._root
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes (root first, then parent-map insertion order)."""
+        return list(self._children)
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self._children
+
+    def parent(self, u: Node) -> Optional[Node]:
+        """Parent of ``u``; ``None`` for the root."""
+        self._require(u)
+        return self._parent.get(u)
+
+    def children(self, u: Node) -> list[Node]:
+        """Children of ``u`` in insertion order."""
+        self._require(u)
+        return list(self._children[u])
+
+    def depth(self, u: Node) -> int:
+        """Number of edges on the path from the root to ``u``."""
+        self._require(u)
+        return self._depth[u]
+
+    def height(self) -> int:
+        """Maximum depth over all nodes."""
+        return max(self._depth.values())
+
+    def is_leaf(self, u: Node) -> bool:
+        self._require(u)
+        return not self._children[u]
+
+    def leaves(self) -> list[Node]:
+        return [u for u in self._children if not self._children[u]]
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Tree edges oriented as ``(child, parent)``."""
+        for child, par in self._parent.items():
+            yield (child, par)
+
+    def _require(self, u: Node) -> None:
+        if u not in self._children:
+            raise TreeError(f"node {u!r} is not in the tree")
+
+    # ------------------------------------------------------------------
+    # Orders and subtrees
+    # ------------------------------------------------------------------
+    def preorder(self) -> list[Node]:
+        """Nodes in depth-first preorder (iterative, recursion-free)."""
+        if self._preorder is None:
+            order: list[Node] = []
+            stack = [self._root]
+            while stack:
+                u = stack.pop()
+                order.append(u)
+                # Reverse so the first child is visited first.
+                stack.extend(reversed(self._children[u]))
+            self._preorder = order
+        return list(self._preorder)
+
+    def postorder(self) -> list[Node]:
+        """Nodes in depth-first postorder: every node after its children."""
+        if self._postorder is None:
+            self._postorder = list(reversed(self._reverse_postorder()))
+        return list(self._postorder)
+
+    def _reverse_postorder(self) -> list[Node]:
+        order: list[Node] = []
+        stack = [self._root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            stack.extend(self._children[u])
+        return order
+
+    def subtree(self, u: Node) -> set[Node]:
+        """The descendant set ``u↓`` (including ``u`` itself)."""
+        self._require(u)
+        members = {u}
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            for c in self._children[x]:
+                members.add(c)
+                stack.append(c)
+        return members
+
+    def subtree_size(self, u: Node) -> int:
+        """``|u↓|`` without materialising the set for every caller."""
+        return len(self.subtree(u))
+
+    def subtree_sizes(self) -> dict[Node, int]:
+        """All subtree sizes in one postorder sweep (O(n))."""
+        size = {u: 1 for u in self._children}
+        for u in self.postorder():
+            par = self._parent.get(u)
+            if par is not None:
+                size[par] += size[u]
+        return size
+
+    def ancestors(self, u: Node, include_self: bool = False) -> list[Node]:
+        """Ancestors of ``u`` ordered from ``u`` upward to the root."""
+        self._require(u)
+        chain: list[Node] = [u] if include_self else []
+        x = self._parent.get(u)
+        while x is not None:
+            chain.append(x)
+            x = self._parent.get(x)
+        return chain
+
+    def is_ancestor(self, a: Node, u: Node) -> bool:
+        """True when ``a`` is an ancestor of ``u`` (or ``a == u``)."""
+        self._require(a)
+        self._require(u)
+        while u is not None and self._depth[u] >= self._depth[a]:
+            if u == a:
+                return True
+            u = self._parent.get(u)  # type: ignore[assignment]
+        return False
+
+    def path_to_root(self, u: Node) -> list[Node]:
+        """Alias for ``ancestors(u, include_self=True)``."""
+        return self.ancestors(u, include_self=True)
+
+    # ------------------------------------------------------------------
+    # Least common ancestors (binary lifting) — centralized reference
+    # ------------------------------------------------------------------
+    def _build_lifting(self) -> dict[Node, list[Node]]:
+        if self._lift is None:
+            height = max(1, self.height())
+            levels = max(1, height.bit_length())
+            lift: dict[Node, list[Node]] = {}
+            for u in self.preorder():
+                table = [self._parent.get(u, u)]
+                lift[u] = table
+            for k in range(1, levels):
+                for u in lift:
+                    table = lift[u]
+                    table.append(lift[table[k - 1]][k - 1])
+            self._lift = lift
+        return self._lift
+
+    def lca(self, u: Node, v: Node) -> Node:
+        """Least common ancestor of ``u`` and ``v`` in O(log n)."""
+        self._require(u)
+        self._require(v)
+        lift = self._build_lifting()
+        du, dv = self._depth[u], self._depth[v]
+        if du < dv:
+            u, v = v, u
+            du, dv = dv, du
+        diff = du - dv
+        k = 0
+        while diff:
+            if diff & 1:
+                u = lift[u][k]
+            diff >>= 1
+            k += 1
+        if u == v:
+            return u
+        for k in range(len(lift[u]) - 1, -1, -1):
+            if lift[u][k] != lift[v][k]:
+                u = lift[u][k]
+                v = lift[v][k]
+        return self._parent[u]
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_graph(self, weight: float = 1.0) -> WeightedGraph:
+        """The underlying undirected tree as a :class:`WeightedGraph`."""
+        g = WeightedGraph()
+        g.add_node(self._root)
+        for child, par in self._parent.items():
+            g.add_edge(child, par, weight)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RootedTree(root={self._root!r}, n={len(self)})"

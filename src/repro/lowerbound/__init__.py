@@ -1,0 +1,5 @@
+"""Das Sarma et al. lower-bound instance family (system S11)."""
+
+from .das_sarma import HardInstance, das_sarma_instance, square_instance
+
+__all__ = ["HardInstance", "das_sarma_instance", "square_instance"]

@@ -1,0 +1,125 @@
+"""Das Sarma et al. [SICOMP 2013] style hard instances (system S11).
+
+The Ω~(√n + D) lower bound uses graphs made of Γ ≈ √n parallel paths of
+length ℓ ≈ √n, overlaid with a balanced binary tree whose leaves attach
+to the path columns — giving Θ(Γ·ℓ) nodes but diameter only O(log n).
+Information must still travel along the paths to be combined, which is
+what forces √n rounds for (even approximate) min-cut.
+
+Our experiment E5 runs the *upper-bound* algorithm on this family: with
+D = O(log n), measured rounds must scale like √n, matching the paper's
+tightness discussion.  Generator nodes: path node ``(i, j)`` (path i,
+column j) and tree nodes, all remapped to consecutive integers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import AlgorithmError
+from ..graphs.graph import WeightedGraph
+
+
+@dataclass(frozen=True)
+class HardInstance:
+    """A lower-bound topology plus its bookkeeping.
+
+    ``graph`` has unit weights except the Γ "cut" edges closing the
+    first column onto a designated apex pair, giving a known planted cut
+    when ``planted_cut`` is set.
+    """
+
+    graph: WeightedGraph
+    paths: int
+    path_length: int
+    tree_depth: int
+    planted_cut_value: float
+    planted_side: frozenset
+
+
+def das_sarma_instance(
+    paths: int,
+    path_length: int,
+    heavy_weight: float = 4.0,
+) -> HardInstance:
+    """Build the path-of-Γ × binary-tree instance.
+
+    Structure:
+
+    * Γ = ``paths`` disjoint paths, each with ``path_length`` columns,
+      edge weight ``heavy_weight`` (so path edges are never the min cut);
+    * a balanced binary tree over ``path_length`` leaf positions, each
+      leaf joined to every path at its column with weight
+      ``heavy_weight`` (keeps D = O(log path_length));
+    * a planted minimum cut: the *last* column's path nodes attach to
+      their column leaf with **unit** weight instead, so cutting those Γ
+      unit edges (plus the Γ heavy path edges into the last column is
+      avoided by giving the last path edge unit weight too) isolates the
+      last column at total weight 2Γ… simplified: the planted side is
+      the last column's path nodes, its cut value is returned exactly.
+    """
+    if paths < 1 or path_length < 2:
+        raise AlgorithmError("need at least 1 path and 2 columns")
+    graph = WeightedGraph()
+    node_id = 0
+    # Heavy edges must outweigh the planted cut (2·paths unit edges), so
+    # that no heavy singleton/neck beats the planted column.
+    heavy = max(heavy_weight, float(paths) + 2.0)
+
+    def fresh() -> int:
+        nonlocal node_id
+        node_id += 1
+        return node_id - 1
+
+    path_nodes = [[fresh() for _ in range(path_length)] for _ in range(paths)]
+    # Path edges: heavy everywhere except into the last column (unit).
+    for i in range(paths):
+        for j in range(path_length - 1):
+            weight = 1.0 if j == path_length - 2 else heavy
+            graph.add_edge(path_nodes[i][j], path_nodes[i][j + 1], weight)
+    # Tie the last column together internally (heavy ring) so that the
+    # planted cut — the whole column, 2·paths unit edges — is strictly
+    # lighter than any cut splitting the column.
+    last = [path_nodes[i][path_length - 1] for i in range(paths)]
+    if paths == 2:
+        graph.add_edge(last[0], last[1], heavy * paths)
+    elif paths >= 3:
+        for i in range(paths):
+            graph.add_edge(last[i], last[(i + 1) % paths], heavy * paths)
+
+    # Balanced binary tree over columns.
+    depth = max(1, math.ceil(math.log2(path_length)))
+    leaves = 2 ** depth
+    tree_nodes: list[list[int]] = [[fresh() for _ in range(2 ** d)] for d in range(depth + 1)]
+    for d in range(depth):
+        for idx, parent in enumerate(tree_nodes[d]):
+            graph.add_edge(parent, tree_nodes[d + 1][2 * idx], heavy)
+            graph.add_edge(parent, tree_nodes[d + 1][2 * idx + 1], heavy)
+    # Attach every leaf to a column in every path; the last column gets
+    # unit attachments (part of the planted cut).  Surplus leaves (the
+    # tree is a full power of two) wrap onto the early columns with
+    # heavy edges so no leaf is left hanging on a single light edge.
+    for leaf_idx in range(leaves):
+        leaf = tree_nodes[depth][leaf_idx]
+        j = leaf_idx if leaf_idx < path_length else leaf_idx % (path_length - 1)
+        for i in range(paths):
+            weight = 1.0 if j == path_length - 1 else heavy
+            graph.add_edge(leaf, path_nodes[i][j], weight)
+
+    planted_side = frozenset(path_nodes[i][path_length - 1] for i in range(paths))
+    planted_value = graph.cut_value(planted_side)
+    return HardInstance(
+        graph=graph,
+        paths=paths,
+        path_length=path_length,
+        tree_depth=depth,
+        planted_cut_value=planted_value,
+        planted_side=planted_side,
+    )
+
+
+def square_instance(n_target: int, heavy_weight: float = 4.0) -> HardInstance:
+    """The canonical Γ = ℓ ≈ √n sizing used by the E5 sweep."""
+    side = max(2, math.isqrt(max(4, n_target)))
+    return das_sarma_instance(side, side, heavy_weight=heavy_weight)

@@ -1,0 +1,15 @@
+"""The paper's headline algorithms: exact and (1+ε) minimum cut."""
+
+from .exact import ExactMinCut, default_tree_schedule, minimum_cut_exact
+from .exact_distributed import FullyDistributedExact, minimum_cut_exact_congest_full
+from .approx import ApproxMinCut, minimum_cut_approx
+
+__all__ = [
+    "ExactMinCut",
+    "default_tree_schedule",
+    "minimum_cut_exact",
+    "FullyDistributedExact",
+    "minimum_cut_exact_congest_full",
+    "ApproxMinCut",
+    "minimum_cut_approx",
+]

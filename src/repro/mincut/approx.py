@@ -1,0 +1,119 @@
+"""(1+ε)-approximate minimum cut via Karger skeleton sampling.
+
+The paper's headline result: sample a skeleton at rate
+``p = Θ(log n / (ε² λ))`` so its minimum cut shrinks to ``O~(1/ε²)``,
+solve the skeleton *exactly* with the packing algorithm, and lift the
+witness side back to the original graph, where its value is within
+``(1+ε)`` of λ w.h.p.  Since λ is unknown, a halving search on the
+guess is used: a guess that is too high produces a disconnected (or
+suspiciously light) skeleton and is halved; the search stabilises once
+the rescaled skeleton estimate confirms the guess within a factor two.
+
+When the guess-driven rate reaches 1 the graph's own min cut is already
+``O~(1/ε²)`` and the exact algorithm runs directly — reproducing the
+paper's "exact for small λ" behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..congest.metrics import RunMetrics
+from ..graphs.graph import WeightedGraph
+from ..graphs.properties import min_weighted_degree
+from ..sampling.skeleton import sample_skeleton, sampling_probability
+from .exact import minimum_cut_exact
+
+MAX_HALVINGS = 60
+
+
+@dataclass(frozen=True)
+class ApproxMinCut:
+    """Result of the sampling-based approximation.
+
+    ``value`` is the cut's *original-graph* weight (always a valid upper
+    bound on λ); ``probability`` the final sampling rate (1.0 when the
+    exact path was taken); ``skeleton_value`` the skeleton's exact min
+    cut; ``metrics`` carries rounds in congest mode.
+    """
+
+    value: float
+    side: frozenset
+    probability: float
+    skeleton_value: float
+    halvings: int
+    metrics: Optional[RunMetrics]
+
+    @property
+    def used_sampling(self) -> bool:
+        return self.probability < 1.0
+
+
+def minimum_cut_approx(
+    graph: WeightedGraph,
+    epsilon: float,
+    seed: int = 0,
+    mode: str = "reference",
+) -> ApproxMinCut:
+    """(1+ε)-approximate minimum cut (see module docstring).
+
+    ``mode`` is forwarded to the skeleton's exact solve: ``congest``
+    executes the per-tree Theorem 2.1 runs on the simulator over the
+    *skeleton* topology plus charged MST costs, matching the paper's
+    O~((√n + D)/poly(ε)) accounting.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise AlgorithmError(f"epsilon must be in (0, 1], got {epsilon}")
+    graph.require_connected()
+    n = graph.number_of_nodes
+    if n < 2:
+        raise AlgorithmError("minimum cut requires at least two nodes")
+
+    rng = random.Random(seed)
+    guess = max(1.0, min_weighted_degree(graph))
+    halvings = 0
+    while True:
+        probability = sampling_probability(n, epsilon, guess)
+        if probability >= 1.0:
+            exact = minimum_cut_exact(graph, mode=mode)
+            return ApproxMinCut(
+                value=exact.value,
+                side=exact.side,
+                probability=1.0,
+                skeleton_value=exact.value,
+                halvings=halvings,
+                metrics=exact.metrics,
+            )
+        skeleton = sample_skeleton(graph, probability, rng=rng)
+        if not skeleton.is_connected():
+            guess, halvings = _halve(guess, halvings)
+            continue
+        skeleton_cut = minimum_cut_exact(skeleton, mode=mode)
+        estimate = skeleton_cut.value / probability
+        if guess > 2.0 * estimate:
+            # The guess was too optimistic: the skeleton says λ is much
+            # smaller, so the sampling rate was too low for (1±ε)
+            # concentration.  Tighten and retry.
+            guess, halvings = _halve(max(estimate, guess / 2.0), halvings, bump=False)
+            continue
+        value = graph.cut_value(skeleton_cut.side)
+        return ApproxMinCut(
+            value=value,
+            side=skeleton_cut.side,
+            probability=probability,
+            skeleton_value=skeleton_cut.value,
+            halvings=halvings,
+            metrics=skeleton_cut.metrics,
+        )
+
+
+def _halve(guess: float, halvings: int, bump: bool = True) -> tuple[float, int]:
+    if halvings >= MAX_HALVINGS:
+        raise AlgorithmError(
+            "halving search failed to stabilise; the graph's weights may "
+            "be non-integer (sampling requires integer weights)"
+        )
+    return (guess / 2.0 if bump else guess), halvings + 1

@@ -1,0 +1,45 @@
+"""Centralized Prim MST — an independent implementation used to
+cross-validate Kruskal in tests (both must produce spanning trees of the
+same total weight; with the deterministic tie order they produce the
+same edge set on distinct-weight graphs)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..graphs.graph import Node, WeightedGraph
+from ..graphs.trees import RootedTree
+from .kruskal import edge_total_order
+
+
+def minimum_spanning_tree_prim(
+    graph: WeightedGraph, root: Optional[Node] = None
+) -> RootedTree:
+    """Prim's algorithm with a binary heap, rooted at ``root``."""
+    graph.require_connected()
+    start = root if root is not None else graph.nodes[0]
+    if start not in graph:
+        raise AlgorithmError(f"root {start!r} is not a graph node")
+    parent: dict[Node, Node] = {}
+    in_tree = {start}
+    heap = [
+        (edge_total_order(start, v, graph.weight(start, v)), start, v)
+        for v in graph.neighbors(start)
+    ]
+    heapq.heapify(heap)
+    while heap and len(in_tree) < graph.number_of_nodes:
+        _rank, u, v = heapq.heappop(heap)
+        if v in in_tree:
+            continue
+        in_tree.add(v)
+        parent[v] = u
+        for w in graph.neighbors(v):
+            if w not in in_tree:
+                heapq.heappush(
+                    heap, (edge_total_order(v, w, graph.weight(v, w)), v, w)
+                )
+    if len(in_tree) != graph.number_of_nodes:
+        raise AlgorithmError("graph is not connected; MST does not exist")
+    return RootedTree(start, parent)

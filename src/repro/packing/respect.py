@@ -1,0 +1,65 @@
+"""Crossing counts and k-respect predicates for cuts versus trees.
+
+A cut ``(S, V∖S)`` *k-respects* a tree when at most ``k`` tree edges
+cross it.  Thorup's theorem promises a packing tree that 1-respects a
+minimum cut; these helpers verify that promise empirically (experiment
+E4) and validate the exact algorithm's reductions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import AlgorithmError
+from ..graphs.graph import Node
+from ..graphs.trees import RootedTree
+
+
+def crossing_tree_edges(
+    tree: RootedTree, cut_side: Iterable[Node]
+) -> list[tuple[Node, Node]]:
+    """Tree edges with exactly one endpoint in ``cut_side``."""
+    side = set(cut_side)
+    unknown = side - set(tree.nodes)
+    if unknown:
+        raise AlgorithmError(f"cut side contains non-tree nodes: {sorted(map(repr, unknown))[:3]}")
+    return [
+        (child, parent)
+        for child, parent in tree.edges()
+        if (child in side) != (parent in side)
+    ]
+
+
+def crossing_count(tree: RootedTree, cut_side: Iterable[Node]) -> int:
+    """Number of tree edges crossing the cut."""
+    return len(crossing_tree_edges(tree, cut_side))
+
+
+def one_respects(tree: RootedTree, cut_side: Iterable[Node]) -> bool:
+    """True when exactly one tree edge crosses the cut — then the cut is
+    precisely ``C(v↓)`` for the child endpoint ``v`` of that edge."""
+    return crossing_count(tree, cut_side) == 1
+
+
+def respecting_subtree_node(tree: RootedTree, cut_side: Iterable[Node]) -> Node:
+    """For a 1-respecting cut, the node ``v`` with ``v↓`` equal to one
+    side of the cut."""
+    crossing = crossing_tree_edges(tree, cut_side)
+    if len(crossing) != 1:
+        raise AlgorithmError(
+            f"cut crosses {len(crossing)} tree edges; expected exactly 1"
+        )
+    child, _parent = crossing[0]
+    return child
+
+
+def trees_until_one_respecting(
+    trees: Iterable[RootedTree], cut_side: Iterable[Node]
+) -> int:
+    """1-based index of the first tree 1-respecting the cut; raises when
+    none does (caller controls how many trees to try)."""
+    side = set(cut_side)
+    for index, tree in enumerate(trees, start=1):
+        if one_respects(tree, side):
+            return index
+    raise AlgorithmError("no tree in the packing 1-respects the cut")

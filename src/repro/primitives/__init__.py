@@ -1,0 +1,38 @@
+"""Distributed building blocks over the CONGEST simulator (system S4).
+
+* BFS-tree construction — O(D) rounds.
+* Convergecast — one aggregate up a tree, O(depth) rounds.
+* Downcast / upcast-union / gossip — k items in O(depth + k) rounds.
+* Pipelined keyed sums — k independent subtree sums in O(depth + k)
+  rounds via monotone streaming (the Step 5 workhorse).
+"""
+
+from .bfs import BFSTreeBuild, build_bfs_tree
+from .convergecast import Convergecast, add, min_pair
+from .dissemination import DowncastItems, UpcastUnion, gossip_items
+from .keyed_sums import BlockingKeyedSum, PipelinedKeyedSum
+from .treespec import (
+    BFS_TREE,
+    FRAGMENT_TREE,
+    SPANNING_TREE,
+    TreeSpec,
+    load_tree_into_memory,
+)
+
+__all__ = [
+    "BFSTreeBuild",
+    "build_bfs_tree",
+    "Convergecast",
+    "add",
+    "min_pair",
+    "DowncastItems",
+    "UpcastUnion",
+    "gossip_items",
+    "BlockingKeyedSum",
+    "PipelinedKeyedSum",
+    "BFS_TREE",
+    "FRAGMENT_TREE",
+    "SPANNING_TREE",
+    "TreeSpec",
+    "load_tree_into_memory",
+]

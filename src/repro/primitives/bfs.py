@@ -1,0 +1,75 @@
+"""Distributed BFS-tree construction (flooding), O(D) rounds.
+
+The BFS tree rooted at a designated node is the backbone for global
+aggregation and broadcast: its depth is at most the network diameter
+``D``, so convergecasts over it cost O(D) rounds and pipelined streams of
+``k`` items cost O(D + k).
+
+Protocol: the root floods a ``bfs`` token carrying its depth; every other
+node adopts the first proposer as its parent (ties within a round broken
+by smallest sender id for determinism), acknowledges with ``adopt`` so
+parents learn their children, and forwards the token.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..congest.node import Inbox, NodeContext, NodeId, NodeProgram
+from .treespec import BFS_TREE, TreeSpec
+
+
+class BFSTreeBuild(NodeProgram):
+    """Per-node program building a BFS tree rooted at ``root``.
+
+    After quiescence every node's memory holds, under ``spec``'s keys,
+    its parent (None at the root), its list of children, and its depth;
+    ``spec.prefix + ":root"`` records the root id.
+    """
+
+    def __init__(self, root: NodeId, spec: TreeSpec = BFS_TREE) -> None:
+        self.root = root
+        self.spec = spec
+        self._decided = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.memory[self.spec.children_key] = []
+        ctx.memory[f"{self.spec.prefix}:root"] = self.root
+        if ctx.node == self.root:
+            self._decided = True
+            ctx.memory[self.spec.parent_key] = None
+            ctx.memory[self.spec.depth_key] = 0
+            ctx.broadcast("bfs", 0)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        offers = [(msg.payload[0], src) for src, msg in inbox if msg.kind == "bfs"]
+        for src, msg in inbox:
+            if msg.kind == "adopt":
+                ctx.memory[self.spec.children_key].append(src)
+        if self._decided or not offers:
+            return
+        depth, parent = min(offers, key=_offer_order)
+        self._decided = True
+        ctx.memory[self.spec.parent_key] = parent
+        ctx.memory[self.spec.depth_key] = depth + 1
+        ctx.send(parent, "adopt")
+        for v in ctx.neighbors:
+            if v != parent:
+                ctx.send(v, "bfs", depth + 1)
+
+
+def _offer_order(offer: tuple[int, NodeId]):
+    depth, src = offer
+    return (depth, repr(src)) if not isinstance(src, int) else (depth, src)
+
+
+def build_bfs_tree(network, root: Optional[NodeId] = None, spec: TreeSpec = BFS_TREE):
+    """Driver helper: run :class:`BFSTreeBuild` on ``network``.
+
+    Returns the phase result; the tree lives in node memory afterwards.
+    The root defaults to the minimum node id (a common symmetry-breaking
+    convention; electing it by flooding costs another O(D), which callers
+    can charge if they model leaderless starts).
+    """
+    chosen = root if root is not None else min(network.nodes)
+    return network.run_phase("bfs-tree", lambda u: BFSTreeBuild(chosen, spec))

@@ -1,0 +1,149 @@
+"""Item dissemination primitives: downcast, upcast-union, and gossip.
+
+These are the pipelined O(depth + k) building blocks of the paper:
+
+* :class:`DowncastItems` — every node holding items streams them to all
+  of its children; every node records everything that passes through it.
+  With the engine's per-edge FIFOs, k items pipeline in O(depth + k)
+  rounds.
+* :class:`UpcastUnion` — every node holds a set of items; at quiescence
+  every node has recorded the union of the items in its subtree, and the
+  root knows the union of all items.  Duplicate suppression keeps each
+  edge's traffic at one message per *distinct* item.
+* :func:`gossip_items` — upcast to the BFS root then downcast, making
+  every node know the union of all items in O(D + k) rounds.  This is
+  the "broadcast to the whole network" operation used throughout
+  Steps 1–5 (inter-fragment edges, fragment degrees, merging nodes,
+  the tree ``T'_F``).
+
+Items are tuples of scalars (O(1) words each).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Optional
+
+from ..congest.network import CongestNetwork, RunMetrics
+from ..congest.node import Inbox, NodeContext, NodeId, NodeProgram
+from .bfs import BFS_TREE, build_bfs_tree
+from .treespec import TreeSpec
+
+ItemsFn = Callable[[NodeContext], Iterable[tuple]]
+
+
+def _as_item(payload: tuple) -> tuple:
+    return tuple(payload)
+
+
+class DowncastItems(NodeProgram):
+    """Stream items down the tree; every node records what it sees.
+
+    ``items`` produces the items originating at each node (typically only
+    the root has any).  Each node appends every item it originates or
+    receives to ``memory[out_key]`` (a list, in arrival order) and
+    forwards it to all children.
+    """
+
+    KIND = "dc"
+
+    def __init__(self, spec: TreeSpec, items: ItemsFn, out_key: str = "dc:items") -> None:
+        self.spec = spec
+        self.items = items
+        self.out_key = out_key
+
+    def on_start(self, ctx: NodeContext) -> None:
+        record = ctx.memory.setdefault(self.out_key, [])
+        for item in self.items(ctx):
+            record.append(tuple(item))
+            for child in self.spec.children(ctx):
+                ctx.send(child, self.KIND, *item)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        record = ctx.memory[self.out_key]
+        for _src, msg in inbox:
+            if msg.kind != self.KIND:
+                continue
+            item = _as_item(msg.payload)
+            record.append(item)
+            for child in self.spec.children(ctx):
+                ctx.send(child, self.KIND, *item)
+
+
+class UpcastUnion(NodeProgram):
+    """Union of item sets, aggregated towards the root with dedup.
+
+    At quiescence ``memory[out_key]`` at node ``v`` is the union of the
+    initial items over ``v``'s subtree (a :class:`set` of tuples).
+    """
+
+    KIND = "uu"
+
+    def __init__(self, spec: TreeSpec, items: ItemsFn, out_key: str = "uu:items") -> None:
+        self.spec = spec
+        self.items = items
+        self.out_key = out_key
+
+    def on_start(self, ctx: NodeContext) -> None:
+        seen: set[tuple] = set()
+        ctx.memory[self.out_key] = seen
+        parent = self.spec.parent(ctx)
+        for item in self.items(ctx):
+            item = tuple(item)
+            if item not in seen:
+                seen.add(item)
+                if parent is not None:
+                    ctx.send(parent, self.KIND, *item)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
+        seen = ctx.memory[self.out_key]
+        parent = self.spec.parent(ctx)
+        for _src, msg in inbox:
+            if msg.kind != self.KIND:
+                continue
+            item = _as_item(msg.payload)
+            if item not in seen:
+                seen.add(item)
+                if parent is not None:
+                    ctx.send(parent, self.KIND, *item)
+
+
+def gossip_items(
+    network: CongestNetwork,
+    items: ItemsFn,
+    out_key: str,
+    phase_name: str = "gossip",
+    bfs_spec: TreeSpec = BFS_TREE,
+    build_tree_if_missing: bool = True,
+) -> None:
+    """Make every node know the union of all nodes' items.
+
+    Runs an upcast-union to the BFS root followed by a downcast of the
+    root's collected set.  Afterwards every node's ``memory[out_key]``
+    holds the full set of items (as a set of tuples).  Costs
+    O(D + k) measured rounds where k is the number of distinct items.
+    """
+    sample = network.memory[network.nodes[0]]
+    if build_tree_if_missing and f"{bfs_spec.prefix}:root" not in sample:
+        build_bfs_tree(network, spec=bfs_spec)
+
+    up_key = f"{out_key}:up"
+    network.run_phase(
+        f"{phase_name}:up",
+        lambda u: UpcastUnion(bfs_spec, items, out_key=up_key),
+    )
+
+    def root_items(ctx: NodeContext) -> Iterable[tuple]:
+        if bfs_spec.parent(ctx) is None:
+            return sorted(ctx.memory[up_key])
+        return ()
+
+    down_key = f"{out_key}:down"
+    network.run_phase(
+        f"{phase_name}:down",
+        lambda u: DowncastItems(bfs_spec, root_items, out_key=down_key),
+    )
+    for u in network.nodes:
+        mem = network.memory[u]
+        mem[out_key] = set(mem.pop(down_key, ()))
+        mem.pop(up_key, None)

@@ -1,0 +1,15 @@
+"""Karger skeleton sampling (system S8 of DESIGN.md)."""
+
+from .skeleton import (
+    SAMPLING_CONSTANT,
+    sample_skeleton,
+    sampling_probability,
+    skeleton_cut_estimate,
+)
+
+__all__ = [
+    "SAMPLING_CONSTANT",
+    "sample_skeleton",
+    "sampling_probability",
+    "skeleton_cut_estimate",
+]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    RootedTree,
+    WeightedGraph,
+    connected_gnp_graph,
+    planted_cut_graph,
+    random_spanning_tree,
+)
+
+
+@pytest.fixture
+def triangle() -> WeightedGraph:
+    """K3 with distinct weights — smallest interesting cut instance."""
+    return WeightedGraph([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+
+
+@pytest.fixture
+def small_planted() -> WeightedGraph:
+    """Two dense blobs joined by exactly 3 unit edges (λ = 3)."""
+    return planted_cut_graph((10, 12), 3, seed=7)
+
+
+@pytest.fixture
+def medium_graph() -> WeightedGraph:
+    """A connected ER graph used by the heavier integration tests."""
+    return connected_gnp_graph(28, 0.25, seed=11)
+
+
+@pytest.fixture
+def medium_tree(medium_graph) -> RootedTree:
+    return random_spanning_tree(medium_graph, seed=3)
+
+
+@pytest.fixture
+def caterpillar() -> RootedTree:
+    """A path 0-1-2-3-4 with a leaf hanging off every spine node."""
+    parent = {}
+    for i in range(1, 5):
+        parent[i] = i - 1
+    for i in range(5, 10):
+        parent[i] = i - 5
+    return RootedTree(0, parent)

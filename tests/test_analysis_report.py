@@ -1,0 +1,60 @@
+"""Tests for the report aggregator."""
+
+import pytest
+
+from repro.analysis import build_report, write_report
+from repro.analysis.report import EXPERIMENT_ORDER
+from repro.errors import AlgorithmError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "E1_one_respect_rounds.txt").write_text("E1 table\n", encoding="utf-8")
+    (d / "T1_claims_table.txt").write_text("T1 table\n", encoding="utf-8")
+    (d / "X9_custom.txt").write_text("custom table\n", encoding="utf-8")
+    return d
+
+
+class TestBuildReport:
+    def test_known_experiments_in_order(self, results_dir):
+        report = build_report(results_dir)
+        e1 = report.index("## E1_one_respect_rounds")
+        t1 = report.index("## T1_claims_table")
+        assert e1 < t1
+        assert "E1 table" in report
+        assert "T1 table" in report
+
+    def test_unknown_files_appended(self, results_dir):
+        report = build_report(results_dir)
+        assert "## X9_custom (unregistered)" in report
+        assert report.index("X9_custom") > report.index("T1_claims_table")
+
+    def test_missing_experiments_listed(self, results_dir):
+        report = build_report(results_dir)
+        assert "Pending" in report
+        assert "E2_exact_rounds_vs_lambda" in report
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(AlgorithmError):
+            build_report(tmp_path / "nope")
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "REPORT.md")
+        assert out.exists()
+        assert out.read_text(encoding="utf-8").startswith("# Reproduction report")
+
+    def test_order_covers_all_benchmarks(self):
+        # Keep the registry in sync with the benchmark files on disk.
+        from pathlib import Path
+
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        bench_ids = {
+            p.stem.replace("test_bench_", "")
+            for p in bench_dir.glob("test_bench_*.py")
+        }
+        registry_ids = {x.split("_")[0].lower() + "_" + "_".join(x.split("_")[1:]).lower() for x in EXPERIMENT_ORDER}
+        prefixes = {x.split("_")[0].lower() for x in EXPERIMENT_ORDER}
+        for bench in bench_ids:
+            assert bench.split("_")[0] in prefixes, bench

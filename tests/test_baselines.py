@@ -1,0 +1,236 @@
+"""Baseline algorithm tests: Stoer–Wagner, brute force, Karger(-Stein),
+bridges, Nagamochi–Ibaraki, Matula, Su."""
+
+import pytest
+
+from repro.baselines import (
+    MAX_BRUTE_FORCE_NODES,
+    bridge_component,
+    brute_force_min_cut,
+    contractible_edges,
+    find_bridges,
+    karger_min_cut,
+    karger_stein_min_cut,
+    matula_approx_min_cut,
+    scan_intervals,
+    sparse_certificate,
+    stoer_wagner_min_cut,
+    su_approx_min_cut,
+)
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    WeightedGraph,
+    barbell_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    path_graph,
+    planted_cut_graph,
+    star_graph,
+)
+
+
+class TestStoerWagner:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        g = connected_gnp_graph(9, 0.5, seed=seed, weight_range=(1.0, 4.0))
+        assert stoer_wagner_min_cut(g).value == pytest.approx(
+            brute_force_min_cut(g).value
+        )
+
+    def test_witness_side_realises_value(self):
+        g = connected_gnp_graph(14, 0.4, seed=3)
+        result = stoer_wagner_min_cut(g)
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_two_nodes(self):
+        g = WeightedGraph([(0, 1, 2.5)])
+        result = stoer_wagner_min_cut(g)
+        assert result.value == 2.5
+        assert result.side in ({frozenset({0})}, {frozenset({1})}) or len(
+            result.side
+        ) == 1
+
+    def test_known_families(self):
+        assert stoer_wagner_min_cut(cycle_graph(9)).value == 2.0
+        assert stoer_wagner_min_cut(star_graph(7)).value == 1.0
+        assert stoer_wagner_min_cut(complete_graph(6)).value == 5.0
+
+    def test_weighted_instance(self):
+        g = WeightedGraph(
+            [(0, 1, 4.0), (1, 2, 4.0), (2, 0, 4.0), (2, 3, 0.5), (3, 4, 2.0), (4, 2, 2.0)]
+        )
+        result = stoer_wagner_min_cut(g)
+        assert result.value == pytest.approx(0.5 + 2.0) or result.value <= 2.5
+
+    def test_other_side_helper(self):
+        g = cycle_graph(5)
+        result = stoer_wagner_min_cut(g)
+        assert result.side | result.other_side(g) == set(g.nodes)
+        assert not result.side & result.other_side(g)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(Exception):
+            stoer_wagner_min_cut(WeightedGraph([(0, 1), (2, 3)]))
+
+
+class TestBruteForce:
+    def test_size_guard(self):
+        g = complete_graph(MAX_BRUTE_FORCE_NODES + 1)
+        with pytest.raises(AlgorithmError):
+            brute_force_min_cut(g)
+
+    def test_witness_realises_value(self):
+        g = planted_cut_graph((5, 6), 2, seed=1)
+        result = brute_force_min_cut(g)
+        assert result.value == 2.0
+        assert g.cut_value(result.side) == 2.0
+
+    def test_two_nodes(self):
+        g = WeightedGraph([(0, 1, 7.0)])
+        assert brute_force_min_cut(g).value == 7.0
+
+
+class TestKargerFamily:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_karger_finds_min_cut_with_enough_runs(self, seed):
+        g = connected_gnp_graph(10, 0.5, seed=seed)
+        truth = stoer_wagner_min_cut(g).value
+        result = karger_min_cut(g, seed=seed)
+        assert result.value == pytest.approx(truth)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_karger_stein_finds_min_cut(self, seed):
+        g = connected_gnp_graph(16, 0.4, seed=seed + 10)
+        truth = stoer_wagner_min_cut(g).value
+        result = karger_stein_min_cut(g, repetitions=25, seed=seed)
+        assert result.value == pytest.approx(truth)
+
+    def test_any_run_returns_valid_cut(self):
+        g = connected_gnp_graph(12, 0.4, seed=2)
+        result = karger_min_cut(g, repetitions=1, seed=0)
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_deterministic_per_seed(self):
+        g = connected_gnp_graph(12, 0.4, seed=5)
+        a = karger_min_cut(g, repetitions=5, seed=3)
+        b = karger_min_cut(g, repetitions=5, seed=3)
+        assert a.value == b.value and a.side == b.side
+
+    def test_weighted_contraction_respects_weights(self):
+        # One tiny-weight edge: contraction should essentially never pick
+        # it first, so the min cut (that edge) survives most runs.
+        g = complete_graph(6)
+        g.add_node(6)
+        g.add_edge(0, 6, 0.001)
+        result = karger_min_cut(g, repetitions=30, seed=1)
+        assert result.value == pytest.approx(0.001)
+
+
+class TestBridges:
+    def test_path_all_bridges(self):
+        g = path_graph(6)
+        assert len(find_bridges(g)) == 5
+
+    def test_cycle_no_bridges(self):
+        assert find_bridges(cycle_graph(6)) == []
+
+    def test_barbell_bridge(self):
+        g = barbell_graph(4, bridges=1)
+        bridges = find_bridges(g)
+        assert len(bridges) == 1
+        assert set(bridges[0]) == {0, 4}
+
+    def test_bridge_component(self):
+        g = barbell_graph(4, bridges=1)
+        (bridge,) = find_bridges(g)
+        side = bridge_component(g, bridge)
+        assert len(side) == 4
+        assert g.cut_value(side) == 1.0
+
+    def test_bridge_component_validates(self):
+        g = cycle_graph(4)
+        with pytest.raises(AlgorithmError):
+            bridge_component(g, (0, 1))  # not a bridge
+
+    def test_disconnected_graph_bridges(self):
+        g = WeightedGraph([(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert find_bridges(g) == [(0, 1)]
+
+
+class TestNagamochiIbaraki:
+    def test_intervals_cover_all_edges(self):
+        g = connected_gnp_graph(15, 0.4, seed=1)
+        intervals = scan_intervals(g)
+        assert len(intervals) == g.number_of_edges
+
+    def test_certificate_preserves_small_cuts(self):
+        g = planted_cut_graph((10, 10), 2, seed=3)
+        cert = sparse_certificate(g, k=4.0)
+        assert stoer_wagner_min_cut(cert).value == pytest.approx(2.0)
+
+    def test_certificate_is_sparse(self):
+        g = complete_graph(20)
+        k = 3.0
+        cert = sparse_certificate(g, k)
+        assert cert.total_weight() <= k * (20 - 1) + 1e-9
+
+    def test_certificate_caps_cut_values(self):
+        g = complete_graph(10)
+        cert = sparse_certificate(g, k=2.0)
+        assert stoer_wagner_min_cut(cert).value <= 2.0 + 1e-9
+
+    def test_contractible_edges_are_safe(self):
+        g = planted_cut_graph((8, 8), 1, seed=0)
+        truth = stoer_wagner_min_cut(g).value
+        for u, v in contractible_edges(g, k=truth + 0.5):
+            # Contracting must not destroy the min cut: both endpoints on
+            # the same side of the planted cut.
+            assert (u < 8) == (v < 8)
+
+    def test_invalid_k(self):
+        with pytest.raises(AlgorithmError):
+            sparse_certificate(cycle_graph(4), 0.0)
+
+
+class TestMatula:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ratio_within_two_plus_eps(self, seed):
+        g = connected_gnp_graph(20, 0.3, seed=seed)
+        truth = stoer_wagner_min_cut(g).value
+        result = matula_approx_min_cut(g, epsilon=0.5)
+        assert truth - 1e-9 <= result.value <= (2.5) * truth + 1e-9
+
+    def test_witness_realises_value(self):
+        g = planted_cut_graph((9, 9), 2, seed=2)
+        result = matula_approx_min_cut(g)
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_exact_on_star(self):
+        assert matula_approx_min_cut(star_graph(8)).value == 1.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(AlgorithmError):
+            matula_approx_min_cut(cycle_graph(4), epsilon=0.0)
+
+
+class TestSu:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_upper_bound(self, seed):
+        g = planted_cut_graph((10, 10), 2, seed=seed)
+        truth = stoer_wagner_min_cut(g).value
+        result = su_approx_min_cut(g, seed=seed)
+        assert result.value >= truth - 1e-9
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_finds_planted_cut_usually(self):
+        hits = 0
+        for seed in range(6):
+            g = planted_cut_graph((10, 10), 1, seed=seed)
+            if su_approx_min_cut(g, seed=seed).value == pytest.approx(1.0):
+                hits += 1
+        assert hits >= 4
+
+    def test_two_node_graph(self):
+        g = WeightedGraph([(0, 1, 3.0)])
+        assert su_approx_min_cut(g, seed=0).value == 3.0

@@ -1,0 +1,131 @@
+"""Tests for the max-flow substrate and the Gomory–Hu cut tree."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import (
+    gomory_hu_min_cut,
+    gomory_hu_tree,
+    max_flow_min_cut,
+    minimum_st_cut_value,
+    stoer_wagner_min_cut,
+)
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    WeightedGraph,
+    barbell_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    path_graph,
+    planted_cut_graph,
+)
+
+
+class TestMaxFlow:
+    def test_path_bottleneck(self):
+        g = WeightedGraph([(0, 1, 5.0), (1, 2, 2.0), (2, 3, 4.0)])
+        result = max_flow_min_cut(g, 0, 3)
+        assert result.value == 2.0
+        assert result.source_side == frozenset({0, 1})
+
+    def test_parallel_paths_sum(self):
+        g = WeightedGraph(
+            [(0, 1, 3.0), (1, 3, 3.0), (0, 2, 2.0), (2, 3, 2.0)]
+        )
+        assert minimum_st_cut_value(g, 0, 3) == 5.0
+
+    def test_complete_graph_flow(self):
+        g = complete_graph(6)
+        # Between any pair: direct edge (1) + 4 two-hop paths (1 each).
+        assert minimum_st_cut_value(g, 0, 5) == 5.0
+
+    def test_undirected_symmetry(self):
+        g = connected_gnp_graph(12, 0.4, seed=1, weight_range=(1.0, 5.0))
+        for s, t in [(0, 5), (3, 9)]:
+            assert minimum_st_cut_value(g, s, t) == pytest.approx(
+                minimum_st_cut_value(g, t, s)
+            )
+
+    def test_cut_side_realises_flow_value(self):
+        g = connected_gnp_graph(14, 0.3, seed=2)
+        result = max_flow_min_cut(g, 0, 13)
+        assert g.cut_value(result.source_side) == pytest.approx(result.value)
+
+    def test_flow_bounded_by_degrees(self):
+        g = connected_gnp_graph(12, 0.5, seed=3, weight_range=(1.0, 2.0))
+        value = minimum_st_cut_value(g, 0, 7)
+        assert value <= min(g.weighted_degree(0), g.weighted_degree(7)) + 1e-9
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(AlgorithmError):
+            max_flow_min_cut(cycle_graph(4), 1, 1)
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(AlgorithmError):
+            max_flow_min_cut(cycle_graph(4), 0, 99)
+
+
+class TestGomoryHu:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_pairs_property(self, seed):
+        g = connected_gnp_graph(9, 0.5, seed=seed, weight_range=(1.0, 4.0))
+        tree = gomory_hu_tree(g)
+        for s, t in itertools.combinations(g.nodes, 2):
+            assert tree.min_cut_value(s, t) == pytest.approx(
+                minimum_st_cut_value(g, s, t)
+            )
+
+    def test_tree_shape(self):
+        g = connected_gnp_graph(10, 0.4, seed=5)
+        tree = gomory_hu_tree(g)
+        assert len(tree.parent) == 9
+        assert set(tree.weight) == set(tree.parent)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_global_min_cut_matches_stoer_wagner(self, seed):
+        g = connected_gnp_graph(12, 0.4, seed=seed + 30)
+        assert gomory_hu_min_cut(g).value == pytest.approx(
+            stoer_wagner_min_cut(g).value
+        )
+
+    def test_planted_cut(self):
+        g = planted_cut_graph((8, 9), 2, seed=1)
+        result = gomory_hu_min_cut(g)
+        assert result.value == 2.0
+        assert g.cut_value(result.side) == 2.0
+
+    def test_barbell(self):
+        assert gomory_hu_min_cut(barbell_graph(5)).value == 1.0
+
+    def test_path_tree_weights(self):
+        g = path_graph(5, weight=3.0)
+        tree = gomory_hu_tree(g)
+        assert all(w == 3.0 for w in tree.weight.values())
+
+    def test_same_endpoint_query_rejected(self):
+        tree = gomory_hu_tree(cycle_graph(5))
+        with pytest.raises(AlgorithmError):
+            tree.min_cut_value(2, 2)
+
+    def test_single_node_rejected(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        with pytest.raises(AlgorithmError):
+            gomory_hu_tree(g)
+
+
+class TestCrossValidationPyramid:
+    """Gomory–Hu as an independent check on the paper's algorithm."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_three_way_agreement(self, seed):
+        from repro.mincut import minimum_cut_exact
+
+        g = connected_gnp_graph(13, 0.4, seed=seed + 90)
+        sw = stoer_wagner_min_cut(g).value
+        gh = gomory_hu_min_cut(g).value
+        ours = minimum_cut_exact(g).value
+        assert sw == pytest.approx(gh)
+        assert ours == pytest.approx(gh)

@@ -1,0 +1,112 @@
+"""Tests for the distributed Su pipeline (sampling + Theorem 2.1)."""
+
+import pytest
+
+from repro.baselines import stoer_wagner_min_cut, su_minimum_cut_congest
+from repro.baselines.su_congest import EdgeSamplingPhase, SkeletonBFSBuild
+from repro.congest import CongestNetwork
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    WeightedGraph,
+    barbell_graph,
+    complete_graph,
+    connected_gnp_graph,
+    planted_cut_graph,
+)
+
+
+class TestSamplingPhase:
+    def test_both_endpoints_agree_on_sample(self):
+        g = connected_gnp_graph(15, 0.4, seed=1)
+        net = CongestNetwork(g)
+        net.run_phase("sample", lambda u: EdgeSamplingPhase(0.5, seed=3))
+        for u, v, _w in g.edges():
+            assert net.memory[u]["su:skel"].get(v) == net.memory[v][
+                "su:skel"
+            ].get(u)
+
+    def test_rate_one_keeps_everything(self):
+        g = complete_graph(6)
+        net = CongestNetwork(g)
+        net.run_phase("sample", lambda u: EdgeSamplingPhase(1.0, seed=0))
+        for u in g.nodes:
+            assert set(net.memory[u]["su:skel"]) == set(g.neighbors(u))
+
+    def test_rate_zero_keeps_nothing(self):
+        g = complete_graph(5)
+        net = CongestNetwork(g)
+        net.run_phase("sample", lambda u: EdgeSamplingPhase(0.0, seed=0))
+        assert all(net.memory[u]["su:skel"] == {} for u in g.nodes)
+
+    def test_integer_weights_required(self):
+        g = WeightedGraph([(0, 1, 1.5)])
+        net = CongestNetwork(g)
+        with pytest.raises(AlgorithmError):
+            net.run_phase("sample", lambda u: EdgeSamplingPhase(0.5, seed=0))
+
+    def test_deterministic_per_seed(self):
+        g = connected_gnp_graph(12, 0.4, seed=2)
+        samples = []
+        for _ in range(2):
+            net = CongestNetwork(g)
+            net.run_phase("sample", lambda u: EdgeSamplingPhase(0.5, seed=9))
+            samples.append(
+                {u: dict(net.memory[u]["su:skel"]) for u in g.nodes}
+            )
+        assert samples[0] == samples[1]
+
+
+class TestSkeletonBFS:
+    def test_spans_when_sample_is_full(self):
+        g = connected_gnp_graph(14, 0.3, seed=5)
+        net = CongestNetwork(g)
+        net.run_phase("sample", lambda u: EdgeSamplingPhase(1.0, seed=0))
+        net.run_phase("bfs", lambda u: SkeletonBFSBuild(0))
+        assert all(net.memory[u]["suT:reached"] for u in g.nodes)
+
+    def test_detects_disconnection(self):
+        g = barbell_graph(4, bridges=1)
+        net = CongestNetwork(g)
+        net.run_phase("sample", lambda u: EdgeSamplingPhase(1.0, seed=0))
+        # Remove the bridge from both endpoints' sampled view.
+        net.memory[0]["su:skel"].pop(4, None)
+        net.memory[4]["su:skel"].pop(0, None)
+        net.run_phase("bfs", lambda u: SkeletonBFSBuild(0))
+        reached = [u for u in g.nodes if net.memory[u]["suT:reached"]]
+        assert len(reached) == 4
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_upper_bound_and_usually_exact(self, seed):
+        g = planted_cut_graph((11, 11), 2, seed=seed)
+        truth = stoer_wagner_min_cut(g).value
+        result = su_minimum_cut_congest(g, seed=seed)
+        assert result.value >= truth - 1e-9
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_finds_planted_cut_across_seeds(self):
+        hits = 0
+        for seed in range(5):
+            g = planted_cut_graph((11, 11), 2, seed=seed + 40)
+            truth = stoer_wagner_min_cut(g).value
+            if su_minimum_cut_congest(g, seed=seed).value == pytest.approx(truth):
+                hits += 1
+        assert hits >= 3
+
+    def test_metrics_accumulate_across_rates(self):
+        g = planted_cut_graph((9, 9), 1, seed=0)
+        result = su_minimum_cut_congest(g, seed=0, rate_steps=3, trials_per_rate=1)
+        assert result.metrics.measured_rounds > 0
+        assert result.rates_tried >= 1
+        sample_phases = [
+            p for p in result.metrics.phases if p.name.startswith("su:sample")
+        ]
+        assert len(sample_phases) == 3
+
+    def test_rate_one_always_available(self):
+        # Even with a single rate step (p=1) the pipeline returns a cut.
+        g = connected_gnp_graph(12, 0.4, seed=3)
+        result = su_minimum_cut_congest(g, seed=0, rate_steps=1, trials_per_rate=1)
+        assert result.best_rate == 1.0
+        assert result.value >= stoer_wagner_min_cut(g).value - 1e-9

@@ -1,0 +1,75 @@
+"""CLI tests (direct main(argv) invocation, no subprocesses)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import WeightedGraph, write_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exact", "--family", "nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["exact"])
+        assert args.family == "gnp"
+        assert args.mode == "reference"
+
+
+class TestCommands:
+    def test_exact_reference(self, capsys):
+        assert main(["exact", "--family", "cycle", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum cut value : 2" in out
+
+    def test_exact_congest_reports_rounds(self, capsys):
+        assert main(["exact", "--family", "cycle", "--n", "10", "--mode", "congest"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+        assert "charged" in out
+
+    def test_exact_pinned_trees(self, capsys):
+        assert main(["exact", "--family", "cycle", "--n", "8", "--trees", "3"]) == 0
+        assert "packing trees used: 3" in capsys.readouterr().out
+
+    def test_approx(self, capsys):
+        assert main(["approx", "--family", "complete", "--n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "(1+eps) cut value : 23" in out
+
+    def test_rounds_with_fit(self, capsys):
+        assert main(["rounds", "--family", "cycle", "--sizes", "16,32"]) == 0
+        out = capsys.readouterr().out
+        assert "fit: rounds ~" in out
+        assert "measured" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--family", "cycle", "--n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Stoer-Wagner (ground truth)" in out
+        assert "this paper, exact" in out
+
+    def test_file_input(self, tmp_path, capsys):
+        g = WeightedGraph([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        path = tmp_path / "triangle.edges"
+        write_edge_list(g, path)
+        assert main(["exact", "--file", str(path)]) == 0
+        assert "minimum cut value : 2" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--family", "complete", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "certified interval" in out
+        assert "edge-disjoint trees: 4" in out
+
+    def test_disconnected_file_fails_cleanly(self, tmp_path, capsys):
+        g = WeightedGraph([(0, 1), (2, 3)])
+        path = tmp_path / "disc.edges"
+        write_edge_list(g, path)
+        assert main(["exact", "--file", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""Unit tests for the CONGEST engine: delivery, pipelining, bandwidth."""
+
+import pytest
+
+from repro.errors import (
+    BandwidthExceededError,
+    CongestError,
+    RoundLimitExceededError,
+)
+from repro.congest import (
+    CongestNetwork,
+    Message,
+    NodeProgram,
+    check_message_size,
+    payload_words,
+    single_message,
+)
+from repro.graphs import WeightedGraph, path_graph, star_graph
+
+
+class _Silent(NodeProgram):
+    pass
+
+
+class _PingOnce(NodeProgram):
+    """Node 0 sends one ping to every neighbour; receivers record it."""
+
+    def on_start(self, ctx):
+        if ctx.node == 0:
+            ctx.broadcast("ping", 42)
+
+    def on_round(self, ctx, inbox):
+        got = single_message(inbox, "ping")
+        if got is not None:
+            ctx.output("ping", got[1].payload[0])
+
+
+class _Burst(NodeProgram):
+    """Node 0 enqueues `count` messages to node 1 at start (pipelining)."""
+
+    def __init__(self, count):
+        self.count = count
+
+    def on_start(self, ctx):
+        if ctx.node == 0:
+            for i in range(self.count):
+                ctx.send(1, "item", i)
+
+    def on_round(self, ctx, inbox):
+        if ctx.node == 1:
+            arrived = ctx.memory.setdefault("arrived", [])
+            for _src, msg in inbox:
+                arrived.append((ctx.round, msg.payload[0]))
+
+
+class TestMessageSizing:
+    def test_payload_words_scalars(self):
+        assert payload_words(5) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words("tag") == 1
+        assert payload_words(None) == 0
+
+    def test_payload_words_nested(self):
+        assert payload_words((1, 2, (3, 4))) == 4
+
+    def test_payload_words_rejects_dict(self):
+        with pytest.raises(BandwidthExceededError):
+            payload_words({"a": 1})
+
+    def test_check_message_size(self):
+        check_message_size(Message("k", (1, 2)), max_words=2)
+        with pytest.raises(BandwidthExceededError):
+            check_message_size(Message("k", (1, 2, 3)), max_words=2)
+
+    def test_oversize_message_raises_in_strict_mode(self):
+        class Oversend(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, "big", *range(50))
+
+        net = CongestNetwork(path_graph(2))
+        with pytest.raises(BandwidthExceededError):
+            net.run_phase("big", lambda u: Oversend())
+
+    def test_oversize_allowed_when_not_strict(self):
+        class Oversend(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, "big", *range(50))
+
+        net = CongestNetwork(path_graph(2), strict=False)
+        result = net.run_phase("big", lambda u: Oversend())
+        assert result.metrics.max_message_words == 50
+
+
+class TestDelivery:
+    def test_empty_phase_costs_zero_rounds(self):
+        net = CongestNetwork(path_graph(3))
+        result = net.run_phase("idle", lambda u: _Silent())
+        assert result.metrics.rounds == 0
+        assert result.metrics.messages == 0
+
+    def test_ping_delivered_next_round(self):
+        net = CongestNetwork(star_graph(5))
+        result = net.run_phase("ping", lambda u: _PingOnce())
+        assert result.metrics.rounds == 1
+        pings = result.output_map("ping")
+        assert pings == {u: 42 for u in range(1, 5)}
+
+    def test_send_to_non_neighbour_raises(self):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(2, "x")
+
+        net = CongestNetwork(path_graph(3))
+        with pytest.raises(KeyError):
+            net.run_phase("bad", lambda u: Bad())
+
+    def test_pipelining_one_message_per_round(self):
+        net = CongestNetwork(path_graph(2))
+        result = net.run_phase("burst", lambda u: _Burst(5))
+        # 5 messages over one edge need exactly 5 rounds.
+        assert result.metrics.rounds == 5
+        arrived = net.memory[1]["arrived"]
+        assert arrived == [(r + 1, r) for r in range(5)]
+
+    def test_backlog_metric_tracks_queue(self):
+        net = CongestNetwork(path_graph(2))
+        result = net.run_phase("burst", lambda u: _Burst(7))
+        assert result.metrics.max_edge_backlog == 7
+
+    def test_round_limit_enforced(self):
+        class Forever(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, "tick")
+
+            def on_round(self, ctx, inbox):
+                for src, _msg in inbox:
+                    ctx.send(src, "tick")
+
+        net = CongestNetwork(path_graph(2))
+        with pytest.raises(RoundLimitExceededError):
+            net.run_phase("forever", lambda u: Forever(), max_rounds=25)
+
+    def test_send_from_on_stop_rejected(self):
+        class SneakySend(NodeProgram):
+            def on_stop(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, "late")
+
+        net = CongestNetwork(path_graph(2))
+        with pytest.raises(CongestError):
+            net.run_phase("sneaky", lambda u: SneakySend())
+
+
+class TestTicksAndContext:
+    def test_request_tick_schedules_without_messages(self):
+        class Counter(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.memory["ticks"] = 0
+                    ctx.request_tick()
+
+            def on_round(self, ctx, inbox):
+                ctx.memory["ticks"] += 1
+                if ctx.memory["ticks"] < 3:
+                    ctx.request_tick()
+
+        net = CongestNetwork(path_graph(2))
+        result = net.run_phase("ticks", lambda u: Counter())
+        assert net.memory[0]["ticks"] == 3
+        assert result.metrics.rounds == 3
+
+    def test_context_exposes_initial_knowledge(self):
+        seen = {}
+
+        class Probe(NodeProgram):
+            def on_start(self, ctx):
+                seen[ctx.node] = (
+                    sorted(ctx.neighbors),
+                    ctx.weighted_degree(),
+                    ctx.network_size,
+                )
+
+        g = WeightedGraph([(0, 1, 2.0), (1, 2, 3.0)])
+        net = CongestNetwork(g)
+        net.run_phase("probe", lambda u: Probe())
+        assert seen[1] == ([0, 2], 5.0, 3)
+        assert seen[0] == ([1], 2.0, 3)
+
+    def test_memory_persists_across_phases(self):
+        class WriteOnce(NodeProgram):
+            def on_start(self, ctx):
+                ctx.memory["x"] = ctx.node * 10
+
+        class ReadBack(NodeProgram):
+            def on_start(self, ctx):
+                ctx.output("x", ctx.memory["x"])
+
+        net = CongestNetwork(path_graph(3))
+        net.run_phase("w", lambda u: WriteOnce())
+        result = net.run_phase("r", lambda u: ReadBack())
+        assert result.output_map("x") == {0: 0, 1: 10, 2: 20}
+
+    def test_reset_memory(self):
+        net = CongestNetwork(path_graph(2))
+        net.memory[0]["x"] = 1
+        net.reset_memory()
+        assert net.memory[0] == {}
+
+
+class TestMetricsAccumulation:
+    def test_run_metrics_totals(self):
+        net = CongestNetwork(star_graph(4))
+        net.run_phase("p1", lambda u: _PingOnce())
+        net.run_phase("p2", lambda u: _PingOnce())
+        assert net.metrics.measured_rounds == 2
+        assert net.metrics.total_messages == 6
+        assert len(net.metrics.phases) == 2
+
+    def test_charged_rounds_tracked_separately(self):
+        net = CongestNetwork(path_graph(2))
+        net.run_phase("p", lambda u: _PingOnce())
+        net.charge(100, "substituted subroutine")
+        assert net.metrics.charged_rounds == 100
+        assert net.metrics.total_rounds == net.metrics.measured_rounds + 100
+        assert "substituted subroutine" in net.metrics.charged_notes[0]
+
+    def test_negative_charge_rejected(self):
+        net = CongestNetwork(path_graph(2))
+        with pytest.raises(ValueError):
+            net.charge(-1, "bad")
+
+    def test_metrics_summary_keys(self):
+        net = CongestNetwork(path_graph(2))
+        net.run_phase("p", lambda u: _PingOnce())
+        summary = net.metrics.summary()
+        assert summary["measured_rounds"] == 1
+        assert summary["messages"] == 1
+        assert summary["max_message_words"] == 1
+
+    def test_single_message_helper_rejects_duplicates(self):
+        msgs = [(0, Message("a", (1,))), (0, Message("a", (2,)))]
+        with pytest.raises(ValueError):
+            single_message(msgs, "a")

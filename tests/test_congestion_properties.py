@@ -1,0 +1,92 @@
+"""Theory-level traffic properties, checked against actual traces.
+
+The paper's round bounds rest on per-edge traffic bounds: the scoped
+downcasts and the LCA exchange send O(√n) messages per edge, and the
+keyed-sum streams are monotone.  These tests observe real executions
+through the tracer and assert those bounds — catching any regression
+that would silently break the O~(√n + D) claim while still computing
+correct values.
+"""
+
+import pytest
+
+from repro.congest import CongestNetwork, MessageTracer, kind_filter
+from repro.core import one_respecting_min_cut_congest
+from repro.graphs import connected_gnp_graph, random_spanning_tree
+from repro.fragments import partition_tree
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    graph = connected_gnp_graph(60, 0.12, seed=21)
+    tree = random_spanning_tree(graph, seed=21)
+    threshold = 8
+    tracer = MessageTracer(max_events=2_000_000)
+    net = CongestNetwork(graph, tracer=tracer)
+    one_respecting_min_cut_congest(
+        graph, tree, network=net, partition_threshold=threshold
+    )
+    decomposition = partition_tree(tree, threshold)
+    return graph, tree, threshold, tracer, decomposition
+
+
+class TestPerEdgeTrafficBounds:
+    def test_lca_chain_items_bounded_by_fragment_size(self, traced_run):
+        graph, _tree, threshold, tracer, dec = traced_run
+        # Case-1 chains carry only within-fragment ancestors: at most
+        # the largest fragment's size per direction.
+        largest = max(len(dec.members_of(f)) for f in dec.fragment_ids())
+        per_edge: dict = {}
+        for event in tracer.events:
+            if event.kind == "ch":
+                key = (event.src, event.dst)
+                per_edge[key] = per_edge.get(key, 0) + 1
+        assert per_edge, "expected same-fragment edges in the instance"
+        assert max(per_edge.values()) <= largest
+
+    def test_skeleton_chain_items_bounded_by_fragment_count(self, traced_run):
+        _graph, _tree, _threshold, tracer, dec = traced_run
+        per_edge: dict = {}
+        for event in tracer.events:
+            if event.kind == "sk":
+                key = (event.src, event.dst)
+                per_edge[key] = per_edge.get(key, 0) + 1
+        if per_edge:
+            # |T'_F| ≤ 2 · #fragments (roots + merging nodes).
+            assert max(per_edge.values()) <= 2 * dec.fragment_count
+
+    def test_ancestor_downcast_bounded_by_two_fragments(self, traced_run):
+        _graph, _tree, threshold, tracer, dec = traced_run
+        per_edge: dict = {}
+        for event in tracer.events:
+            if event.kind == "anc":
+                key = (event.src, event.dst)
+                per_edge[key] = per_edge.get(key, 0) + 1
+        sizes = sorted(
+            (len(dec.members_of(f)) for f in dec.fragment_ids()), reverse=True
+        )
+        two_largest = sizes[0] + (sizes[1] if len(sizes) > 1 else 0)
+        assert max(per_edge.values()) <= two_largest
+
+    def test_keyed_streams_are_monotone(self, traced_run):
+        _graph, _tree, _threshold, tracer, _dec = traced_run
+        streams: dict = {}
+        for event in tracer.events:
+            if event.kind == "ks":
+                streams.setdefault((event.phase, event.src, event.dst), []).append(
+                    event.payload[0]
+                )
+        assert streams
+        for keys in streams.values():
+            assert keys == sorted(keys)
+
+    def test_holder_downcast_one_message_per_fragment_per_edge(self, traced_run):
+        _graph, _tree, _threshold, tracer, dec = traced_run
+        per_edge_frag: dict = {}
+        for event in tracer.events:
+            if event.kind == "hold":
+                frag_below = event.payload[2]
+                key = (event.src, event.dst, frag_below)
+                per_edge_frag[key] = per_edge_frag.get(key, 0) + 1
+        if per_edge_frag:
+            assert max(per_edge_frag.values()) == 1

@@ -1,0 +1,106 @@
+"""Tests for Karger's lemma quantities (δ, ρ, δ↓, ρ↓, C(v↓))."""
+
+import pytest
+
+from repro.core import compute_karger_quantities, lca_weights, subtree_sums
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    RootedTree,
+    WeightedGraph,
+    connected_gnp_graph,
+    cycle_graph,
+    random_spanning_tree,
+)
+
+
+@pytest.fixture
+def square_with_diagonal():
+    """4-cycle + diagonal, spanning tree = path 0-1-2-3."""
+    g = cycle_graph(4)
+    g.add_edge(0, 2, 2.0)
+    tree = RootedTree(0, {1: 0, 2: 1, 3: 2})
+    return g, tree
+
+
+class TestRho:
+    def test_every_edge_counted_once(self, square_with_diagonal):
+        g, tree = square_with_diagonal
+        rho = lca_weights(g, tree)
+        assert sum(rho.values()) == pytest.approx(g.total_weight())
+
+    def test_tree_edge_lca_is_parent(self):
+        tree = RootedTree.path(4)
+        g = tree.to_graph()
+        rho = lca_weights(g, tree)
+        # edge (i, i+1) has LCA i
+        assert rho == {0: 1.0, 1: 1.0, 2: 1.0, 3: 0.0}
+
+    def test_known_values(self, square_with_diagonal):
+        g, tree = square_with_diagonal
+        rho = lca_weights(g, tree)
+        # (0,1)->0, (1,2)->1, (2,3)->2, (3,0)->0, (0,2)->0
+        assert rho == {0: 1.0 + 1.0 + 2.0, 1: 1.0, 2: 1.0, 3: 0.0}
+
+    def test_non_spanning_tree_rejected(self):
+        g = cycle_graph(5)
+        tree = RootedTree.path(4)
+        with pytest.raises(AlgorithmError):
+            lca_weights(g, tree)
+
+    def test_tree_with_non_graph_edge_rejected(self):
+        g = WeightedGraph([(0, 1), (1, 2)])
+        fake = RootedTree(0, {1: 0, 2: 0})  # (2,0) is not a graph edge
+        with pytest.raises(AlgorithmError):
+            lca_weights(g, fake)
+
+
+class TestSubtreeSums:
+    def test_path_prefix_sums(self):
+        tree = RootedTree.path(5)
+        sums = subtree_sums(tree, {i: float(i) for i in range(5)})
+        assert sums[4] == 4.0
+        assert sums[0] == 10.0
+        assert sums[2] == 9.0
+
+    def test_star(self):
+        tree = RootedTree.star(5)
+        sums = subtree_sums(tree, {i: 1.0 for i in range(5)})
+        assert sums[0] == 5.0
+        assert all(sums[i] == 1.0 for i in range(1, 5))
+
+
+class TestLemmaIdentity:
+    def test_cut_below_matches_direct_cut(self, square_with_diagonal):
+        g, tree = square_with_diagonal
+        q = compute_karger_quantities(g, tree)
+        for v in g.nodes:
+            if v == tree.root:
+                continue
+            assert q.cut_below[v] == pytest.approx(g.cut_value(tree.subtree(v)))
+
+    def test_root_value_is_zero(self, square_with_diagonal):
+        g, tree = square_with_diagonal
+        q = compute_karger_quantities(g, tree)
+        assert q.cut_below[tree.root] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identity_on_random_graphs(self, seed):
+        g = connected_gnp_graph(
+            22, 0.25, seed=seed, weight_range=(1.0, 4.0) if seed % 2 else (1.0, 1.0)
+        )
+        tree = random_spanning_tree(g, seed=seed + 1)
+        q = compute_karger_quantities(g, tree)
+        for v in g.nodes:
+            if v == tree.root:
+                continue
+            assert q.cut_below[v] == pytest.approx(g.cut_value(tree.subtree(v)))
+
+    def test_delta_down_at_root_is_total_degree(self, square_with_diagonal):
+        g, tree = square_with_diagonal
+        q = compute_karger_quantities(g, tree)
+        assert q.delta_down[tree.root] == pytest.approx(2 * g.total_weight())
+
+    def test_rho_down_at_root_is_total_weight(self, square_with_diagonal):
+        g, tree = square_with_diagonal
+        q = compute_karger_quantities(g, tree)
+        assert q.rho_down[tree.root] == pytest.approx(g.total_weight())

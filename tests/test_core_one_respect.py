@@ -1,0 +1,212 @@
+"""Theorem 2.1 tests: the distributed 1-respecting min cut must agree with
+the centralized reference at every node, on every instance."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.core import (
+    one_respecting_min_cut_congest,
+    one_respecting_min_cut_reference,
+)
+from repro.core.figure1 import figure1_instance
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    RootedTree,
+    WeightedGraph,
+    connected_gnp_graph,
+    cycle_graph,
+    grid_graph,
+    planted_cut_graph,
+    random_spanning_tree,
+    star_graph,
+)
+
+
+def _assert_agreement(graph, tree, **kwargs):
+    ref = one_respecting_min_cut_reference(graph, tree)
+    dist = one_respecting_min_cut_congest(graph, tree, **kwargs)
+    assert dist.best_value == pytest.approx(ref.best_value)
+    assert set(dist.cut_values) == set(ref.cut_values)
+    for v, value in ref.cut_values.items():
+        assert dist.cut_values[v] == pytest.approx(value), f"node {v}"
+    return ref, dist
+
+
+class TestReference:
+    def test_cycle_best_is_two(self):
+        g = cycle_graph(8)
+        tree = RootedTree.path(8)
+        ref = one_respecting_min_cut_reference(g, tree)
+        assert ref.best_value == 2.0
+
+    def test_values_match_direct_cuts(self):
+        g = connected_gnp_graph(18, 0.3, seed=2)
+        tree = random_spanning_tree(g, seed=5)
+        ref = one_respecting_min_cut_reference(g, tree)
+        for v, value in ref.cut_values.items():
+            assert value == pytest.approx(g.cut_value(tree.subtree(v)))
+
+    def test_cut_side_realises_best_value(self):
+        g = connected_gnp_graph(15, 0.4, seed=3)
+        tree = random_spanning_tree(g, seed=1)
+        ref = one_respecting_min_cut_reference(g, tree)
+        assert g.cut_value(ref.cut_side(tree)) == pytest.approx(ref.best_value)
+
+    def test_deterministic_tie_break(self):
+        g = cycle_graph(6)
+        tree = RootedTree.path(6)
+        ref = one_respecting_min_cut_reference(g, tree)
+        # All non-root cuts have value 2; the smallest node id wins.
+        assert ref.best_node == 1
+
+    def test_tiny_graph_rejected(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        with pytest.raises(AlgorithmError):
+            one_respecting_min_cut_reference(g, RootedTree(0, {}))
+
+
+class TestDistributedAgreement:
+    def test_two_nodes(self):
+        g = WeightedGraph([(0, 1, 3.5)])
+        _assert_agreement(g, RootedTree(0, {1: 0}))
+
+    def test_figure1_instance(self):
+        inst = figure1_instance()
+        _assert_agreement(inst.graph, inst.tree)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs_random_trees(self, seed):
+        g = connected_gnp_graph(
+            24 + seed,
+            0.25,
+            seed=seed,
+            weight_range=(1.0, 5.0) if seed % 2 else (1.0, 1.0),
+        )
+        tree = random_spanning_tree(g, seed=seed + 100)
+        _assert_agreement(g, tree)
+
+    def test_path_tree_worst_depth(self):
+        g = cycle_graph(30)
+        g.add_edge(4, 20)
+        g.add_edge(9, 27)
+        tree = RootedTree.path(30)
+        _assert_agreement(g, tree)
+
+    def test_star_tree(self):
+        g = star_graph(20)
+        g.add_edge(3, 7)
+        g.add_edge(8, 15)
+        tree = RootedTree.star(20)
+        _assert_agreement(g, tree)
+
+    def test_grid(self):
+        g = grid_graph(5, 5)
+        tree = random_spanning_tree(g, seed=0)
+        _assert_agreement(g, tree)
+
+    def test_planted_cut_found_when_tree_respects_it(self):
+        g = planted_cut_graph((12, 12), 2, seed=4)
+        # Try trees until one 1-respects the planted cut, then the
+        # distributed result must equal exactly 2.
+        from repro.packing import greedy_tree_packing, one_respects
+
+        side = set(range(12))
+        for tree in greedy_tree_packing(g, 6):
+            if one_respects(tree, side):
+                _ref, dist = _assert_agreement(g, tree)
+                assert dist.best_value == pytest.approx(2.0)
+                break
+        else:
+            pytest.skip("no 1-respecting tree among the first 6 (unexpected)")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simulated_partition_matches(self, seed):
+        g = connected_gnp_graph(20, 0.3, seed=seed + 7)
+        tree = random_spanning_tree(g, seed=seed)
+        _assert_agreement(g, tree, simulate_partition=True)
+
+    def test_custom_partition_threshold(self):
+        g = connected_gnp_graph(30, 0.2, seed=1)
+        tree = random_spanning_tree(g, seed=2)
+        _assert_agreement(g, tree, partition_threshold=3)
+        _assert_agreement(g, tree, partition_threshold=10)
+
+
+class TestStructuredFamilies:
+    """The distributed run against the reference on every named family —
+    ties the generator zoo into the core validation."""
+
+    @pytest.mark.parametrize(
+        "family", ["hypercube", "torus", "caveman", "cycle", "complete"]
+    )
+    def test_family_agreement(self, family):
+        from repro.graphs import build_family
+
+        g = build_family(family, 32, seed=2)
+        tree = random_spanning_tree(g, seed=2)
+        _assert_agreement(g, tree)
+
+    def test_fractional_weights(self):
+        # Dyadic weights exercise float δ/ρ arithmetic exactly.
+        g = cycle_graph(12, weight=0.25)
+        g.add_edge(0, 6, 1.75)
+        g.add_edge(3, 9, 0.5)
+        tree = random_spanning_tree(g, seed=4)
+        ref, dist = _assert_agreement(g, tree)
+        assert dist.best_value == pytest.approx(ref.best_value)
+
+    def test_heavy_parallel_merged_weights(self):
+        g = cycle_graph(8)
+        g.add_edge(0, 1, 5.0)  # merges onto the existing edge
+        tree = RootedTree.path(8)
+        _assert_agreement(g, tree)
+
+
+class TestDistributedBookkeeping:
+    def test_metrics_have_measured_and_charged(self):
+        g = connected_gnp_graph(20, 0.3, seed=5)
+        tree = random_spanning_tree(g, seed=5)
+        dist = one_respecting_min_cut_congest(g, tree)
+        assert dist.metrics.measured_rounds > 0
+        assert dist.metrics.charged_rounds > 0  # KP partition charge
+        assert dist.rounds == dist.metrics.total_rounds
+
+    def test_simulated_partition_charges_nothing(self):
+        g = connected_gnp_graph(20, 0.3, seed=5)
+        tree = random_spanning_tree(g, seed=5)
+        dist = one_respecting_min_cut_congest(g, tree, simulate_partition=True)
+        assert dist.metrics.charged_rounds == 0
+
+    def test_every_node_knows_own_cut(self):
+        g = connected_gnp_graph(16, 0.35, seed=9)
+        tree = random_spanning_tree(g, seed=9)
+        net = CongestNetwork(g)
+        one_respecting_min_cut_congest(g, tree, network=net)
+        # Every node's memory carries its own C(v↓) and the global c*.
+        for u in g.nodes:
+            assert "or:cut_below" in net.memory[u]
+            assert "or:cstar" in net.memory[u]
+        stars = {net.memory[u]["or:cstar"] for u in g.nodes}
+        assert len(stars) == 1
+
+    def test_non_integer_node_ids_rejected(self):
+        g = WeightedGraph([("a", "b")])
+        tree = RootedTree("a", {"b": "a"})
+        with pytest.raises(AlgorithmError):
+            one_respecting_min_cut_congest(g, tree)
+
+    def test_non_spanning_tree_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(AlgorithmError):
+            one_respecting_min_cut_congest(g, RootedTree.path(4))
+
+    def test_strict_congest_mode_is_on(self):
+        # The run must complete under strict per-message word budgets —
+        # i.e. the implementation never smuggles super-constant payloads.
+        g = connected_gnp_graph(22, 0.3, seed=3)
+        tree = random_spanning_tree(g, seed=3)
+        net = CongestNetwork(g, strict=True)
+        outcome = one_respecting_min_cut_congest(g, tree, network=net)
+        assert net.metrics.max_message_words <= net.max_words_per_message
+        assert outcome.fragment_count >= 1

@@ -1,0 +1,152 @@
+"""Tests for the centralized Step 1–4 structure reference, pinned on the
+Figure 1 instance and cross-checked on random instances."""
+
+import pytest
+
+from repro.core.figure1 import (
+    EXPECTED_A_OF_11,
+    EXPECTED_FRAGMENT_IDS,
+    EXPECTED_FRAGMENT_MEMBERS,
+    EXPECTED_LCA_CASES,
+    EXPECTED_MERGING_NODES,
+    EXPECTED_SKELETON_PARENTS,
+    figure1_instance,
+)
+from repro.core.structures import StructuresReference
+from repro.fragments import partition_tree
+from repro.graphs import connected_gnp_graph, random_spanning_tree
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    inst = figure1_instance()
+    return inst, StructuresReference(inst.graph, inst.tree, inst.decomposition)
+
+
+class TestFigure1Decomposition:
+    def test_fragment_ids(self, fig1):
+        inst, _ = fig1
+        assert tuple(inst.decomposition.fragment_ids()) == EXPECTED_FRAGMENT_IDS
+
+    def test_fragment_members(self, fig1):
+        inst, _ = fig1
+        for fid, members in EXPECTED_FRAGMENT_MEMBERS.items():
+            assert inst.decomposition.members_of(fid) == set(members)
+
+    def test_child_fragments_of_root_fragment(self, fig1):
+        inst, _ = fig1
+        tf = inst.decomposition.fragment_tree()
+        assert sorted(tf.children(0)) == [3, 4, 5]
+
+    def test_decomposition_is_valid(self, fig1):
+        inst, _ = fig1
+        inst.decomposition.validate()
+
+
+class TestFigure1Structures:
+    def test_merging_nodes(self, fig1):
+        _, s = fig1
+        assert s.merging_nodes == set(EXPECTED_MERGING_NODES)
+
+    def test_skeleton_parents(self, fig1):
+        _, s = fig1
+        assert s.skeleton_parent == EXPECTED_SKELETON_PARENTS
+
+    def test_skeleton_tree_rooted_at_tree_root(self, fig1):
+        _, s = fig1
+        tfp = s.skeleton_tree()
+        assert tfp.root == 0
+        assert sorted(tfp.nodes) == [0, 1, 3, 4, 5]
+
+    def test_scope_ancestors_of_deep_node(self, fig1):
+        _, s = fig1
+        assert tuple(s.scope_ancestors[11]) == EXPECTED_A_OF_11
+
+    def test_scope_ancestors_of_root(self, fig1):
+        _, s = fig1
+        assert s.scope_ancestors[0] == [0]
+
+    def test_fragments_below_excludes_own_fragment(self, fig1):
+        inst, s = fig1
+        for v in inst.tree.nodes:
+            assert inst.decomposition.fragment_id(v) not in s.fragments_below[v]
+
+    def test_fragments_below_of_merging_node(self, fig1):
+        _, s = fig1
+        assert s.fragments_below[1] == {3, 4}
+        assert s.fragments_below[0] == {3, 4, 5}
+
+    def test_lca_cases(self, fig1):
+        _, s = fig1
+        for (u, v), case in EXPECTED_LCA_CASES.items():
+            assert s.lca_case(u, v) == case
+            assert s.lca_case(v, u) == case
+
+    def test_rho_message_types(self, fig1):
+        _, s = fig1
+        # Case 2 edges are type 1 (global); others type 2.
+        mtype, lca, _holder = s.rho_message_type(13, 15)
+        assert (mtype, lca) == (1, 0)
+        mtype, lca, _holder = s.rho_message_type(12, 14)
+        assert (mtype, lca) == (1, 1)
+        mtype, lca, holder = s.rho_message_type(1, 7)
+        assert (mtype, lca, holder) == (2, 1, 1)
+        mtype, lca, holder = s.rho_message_type(11, 12)
+        assert (mtype, lca) == (2, 3)
+        assert holder in (11, 12)
+
+    def test_type2_holder_shares_lca_fragment(self, fig1):
+        inst, s = fig1
+        for u, v, _w in inst.graph.edges():
+            mtype, lca, holder = s.rho_message_type(u, v)
+            if mtype == 2:
+                assert inst.decomposition.same_fragment(holder, lca)
+
+
+class TestStructuresOnRandomInstances:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_skeleton_chain_contains_all_skeleton_ancestors(self, seed):
+        g = connected_gnp_graph(30, 0.2, seed=seed)
+        tree = random_spanning_tree(g, seed=seed)
+        dec = partition_tree(tree)
+        s = StructuresReference(g, tree, dec)
+        for v in tree.nodes:
+            chain = s.skeleton_ancestors(v)
+            expected = [
+                a
+                for a in tree.ancestors(v, include_self=True)
+                if a in s.skeleton_nodes
+            ]
+            assert chain == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merging_nodes_have_two_loaded_children(self, seed):
+        g = connected_gnp_graph(40, 0.15, seed=seed + 20)
+        tree = random_spanning_tree(g, seed=seed)
+        dec = partition_tree(tree)
+        s = StructuresReference(g, tree, dec)
+        for v in s.merging_nodes:
+            loaded = [
+                c
+                for c in tree.children(v)
+                if any(
+                    dec.fragment_root(fid) in tree.subtree(c)
+                    for fid in dec.fragment_ids()
+                )
+            ]
+            assert len(loaded) >= 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fragments_below_matches_subtree_check(self, seed):
+        g = connected_gnp_graph(26, 0.25, seed=seed + 40)
+        tree = random_spanning_tree(g, seed=seed)
+        dec = partition_tree(tree)
+        s = StructuresReference(g, tree, dec)
+        for v in tree.nodes:
+            subtree = tree.subtree(v)
+            expected = {
+                fid
+                for fid in dec.fragment_ids()
+                if dec.members_of(fid) <= subtree and fid != dec.fragment_id(v)
+            }
+            assert s.fragments_below[v] == expected

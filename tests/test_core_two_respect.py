@@ -1,0 +1,118 @@
+"""Tests for the 2-respecting extension (Karger's full framework)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import stoer_wagner_min_cut
+from repro.core import (
+    minimum_cut_exact_two_respect,
+    one_respecting_min_cut_reference,
+    two_respecting_min_cut_reference,
+)
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    RootedTree,
+    WeightedGraph,
+    connected_gnp_graph,
+    cycle_graph,
+    planted_cut_graph,
+    random_spanning_tree,
+)
+from repro.packing import crossing_count
+
+
+def _brute_two_respect(graph, tree):
+    """Min over all cuts crossing the tree at most twice (exponential)."""
+    nodes = graph.nodes
+    best = float("inf")
+    anchor, *rest = nodes
+    for take in range(len(nodes)):
+        for extra in itertools.combinations(rest, take):
+            side = {anchor, *extra}
+            if len(side) == len(nodes):
+                continue
+            if crossing_count(tree, side) <= 2:
+                best = min(best, graph.cut_value(side))
+    return best
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_exponential_enumeration(self, seed):
+        import random
+
+        n = random.Random(seed).randint(5, 10)
+        g = connected_gnp_graph(n, 0.5, seed=seed, weight_range=(1.0, 3.0))
+        tree = random_spanning_tree(g, seed=seed + 1)
+        result = two_respecting_min_cut_reference(g, tree)
+        assert result.best_value == pytest.approx(_brute_two_respect(g, tree))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_side_realises_value(self, seed):
+        g = connected_gnp_graph(12, 0.4, seed=seed + 20)
+        tree = random_spanning_tree(g, seed=seed)
+        result = two_respecting_min_cut_reference(g, tree)
+        assert g.cut_value(result.side) == pytest.approx(result.best_value)
+
+    def test_side_crossings_at_most_two(self):
+        g = connected_gnp_graph(14, 0.35, seed=4)
+        tree = random_spanning_tree(g, seed=4)
+        result = two_respecting_min_cut_reference(g, tree)
+        assert crossing_count(tree, result.side) <= 2
+        assert crossing_count(tree, result.side) == result.crossings
+
+
+class TestRelationTo1Respect:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_worse_than_one_respect(self, seed):
+        g = connected_gnp_graph(13, 0.4, seed=seed + 40)
+        tree = random_spanning_tree(g, seed=seed)
+        one = one_respecting_min_cut_reference(g, tree)
+        two = two_respecting_min_cut_reference(g, tree)
+        assert two.best_value <= one.best_value + 1e-9
+
+    def test_cycle_with_path_tree_needs_two_crossings(self):
+        # On a cycle with a path tree, the min cut (2) cuts two tree
+        # edges for interior arcs; 1-respect can only offer suffixes.
+        g = cycle_graph(8)
+        tree = RootedTree.path(8)
+        two = two_respecting_min_cut_reference(g, tree)
+        assert two.best_value == pytest.approx(2.0)
+
+    def test_union_case_found(self):
+        # Wheel graph with star tree: cut sides that pair two leaves are
+        # unions of two incomparable subtrees.
+        g = WeightedGraph()
+        for leaf in range(1, 6):
+            g.add_edge(0, leaf, 1.0)
+        ring = [1, 2, 3, 4, 5]
+        for i, u in enumerate(ring):
+            g.add_edge(u, ring[(i + 1) % 5], 1.0)
+        tree = RootedTree.star(6)
+        two = two_respecting_min_cut_reference(g, tree)
+        assert crossing_count(tree, two.side) <= 2
+        assert two.best_value == pytest.approx(3.0)  # single-leaf cut
+
+
+class TestPackingDriver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_against_stoer_wagner(self, seed):
+        g = connected_gnp_graph(14, 0.4, seed=seed + 70)
+        truth = stoer_wagner_min_cut(g).value
+        result = minimum_cut_exact_two_respect(g)
+        assert result.best_value == pytest.approx(truth)
+
+    def test_planted(self):
+        g = planted_cut_graph((10, 11), 3, seed=2)
+        assert minimum_cut_exact_two_respect(g).best_value == pytest.approx(3.0)
+
+    def test_tiny_rejected(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        with pytest.raises(AlgorithmError):
+            minimum_cut_exact_two_respect(g)
+
+    def test_two_node_graph(self):
+        g = WeightedGraph([(0, 1, 4.0)])
+        assert minimum_cut_exact_two_respect(g).best_value == pytest.approx(4.0)

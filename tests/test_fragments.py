@@ -1,0 +1,164 @@
+"""Unit tests for the fragment decomposition (Step 1)."""
+
+import math
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.errors import AlgorithmError
+from repro.fragments import (
+    FragmentDecomposition,
+    partition_tree,
+    run_distributed_partition,
+)
+from repro.graphs import RootedTree, random_tree
+from repro.primitives import FRAGMENT_TREE, SPANNING_TREE, load_tree_into_memory
+
+
+class TestCentralizedPartition:
+    def test_covers_all_nodes(self):
+        tree = random_tree(50, seed=1)
+        dec = partition_tree(tree)
+        assert set(dec.root_of) == set(tree.nodes)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_validates_on_random_trees(self, seed):
+        tree = random_tree(80, seed=seed)
+        partition_tree(tree).validate()
+
+    def test_fragment_count_bound(self):
+        for n in (10, 64, 200):
+            tree = RootedTree.path(n)
+            dec = partition_tree(tree)
+            assert dec.fragment_count <= n // dec.threshold + 1
+
+    def test_fragment_diameter_bound(self):
+        tree = RootedTree.path(100)
+        dec = partition_tree(tree)
+        for fid in dec.fragment_ids():
+            assert dec.fragment_diameter(fid) <= 2 * dec.threshold
+
+    def test_star_is_one_fragment(self):
+        tree = RootedTree.star(30)
+        dec = partition_tree(tree)
+        # The root absorbs every pending leaf in one commit.
+        assert dec.fragment_count == 1
+        assert dec.fragment_id(17) == 0
+
+    def test_path_fragments_are_segments(self):
+        tree = RootedTree.path(9)
+        dec = partition_tree(tree, threshold=3)
+        assert dec.fragment_count == 3
+        for fid in dec.fragment_ids():
+            members = sorted(dec.members_of(fid))
+            assert members == list(range(members[0], members[-1] + 1))
+
+    def test_fragment_ids_are_minima(self):
+        tree = random_tree(60, seed=3)
+        dec = partition_tree(tree)
+        for fid in dec.fragment_ids():
+            assert fid == min(dec.members_of(fid))
+
+    def test_explicit_threshold_respected(self):
+        tree = RootedTree.path(20)
+        dec = partition_tree(tree, threshold=5)
+        assert dec.threshold == 5
+        for fid in dec.fragment_ids():
+            if dec.fragment_root(fid) != tree.root:
+                assert len(dec.members_of(fid)) >= 5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(AlgorithmError):
+            partition_tree(RootedTree.path(5), threshold=0)
+
+    def test_single_node_tree(self):
+        dec = partition_tree(RootedTree(0, {}))
+        assert dec.fragment_count == 1
+
+
+class TestFragmentTree:
+    def test_parent_fragment_relation(self):
+        tree = random_tree(70, seed=5)
+        dec = partition_tree(tree)
+        tf = dec.fragment_tree()
+        assert tf.root == dec.fragment_id(tree.root)
+        for fid in dec.fragment_ids():
+            parent_fid = dec.parent_fragment(fid)
+            if parent_fid is None:
+                assert fid == tf.root
+            else:
+                assert tf.parent(fid) == parent_fid
+
+    def test_inter_fragment_edge_count(self):
+        tree = random_tree(90, seed=2)
+        dec = partition_tree(tree)
+        assert len(dec.inter_fragment_edges()) == dec.fragment_count - 1
+
+    def test_same_fragment_predicate(self):
+        tree = RootedTree.path(10)
+        dec = partition_tree(tree, threshold=4)
+        assert dec.same_fragment(2, 3)
+        assert dec.same_fragment(0, 1)
+        assert not dec.same_fragment(1, 2)
+        assert not dec.same_fragment(0, 9)
+
+    def test_intra_fragment_depth_zero_at_root(self):
+        tree = random_tree(40, seed=8)
+        dec = partition_tree(tree)
+        for fid in dec.fragment_ids():
+            assert dec.intra_fragment_depth(dec.fragment_root(fid)) == 0
+
+
+class TestDistributedPartition:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_centralized(self, seed):
+        tree = random_tree(36, seed=seed)
+        graph = tree.to_graph()
+        net = CongestNetwork(graph)
+        load_tree_into_memory(net, tree, SPANNING_TREE)
+        threshold = run_distributed_partition(net)
+        dec = partition_tree(tree, threshold)
+        for u in graph.nodes:
+            assert net.memory[u]["frag:root"] == dec.root_of[u]
+            assert net.memory[u]["frag:id"] == dec.fragment_id(u)
+
+    def test_neighbour_fragment_knowledge(self):
+        tree = random_tree(30, seed=7)
+        net = CongestNetwork(tree.to_graph())
+        load_tree_into_memory(net, tree, SPANNING_TREE)
+        run_distributed_partition(net)
+        for u in tree.nodes:
+            for v, fid in net.memory[u]["frag:nbr"].items():
+                assert net.memory[v]["frag:id"] == fid
+
+    def test_fragment_restricted_tree_consistency(self):
+        tree = random_tree(45, seed=9)
+        net = CongestNetwork(tree.to_graph())
+        load_tree_into_memory(net, tree, SPANNING_TREE)
+        run_distributed_partition(net)
+        for u in tree.nodes:
+            parent = net.memory[u][FRAGMENT_TREE.parent_key]
+            if parent is not None:
+                assert net.memory[parent]["frag:id"] == net.memory[u]["frag:id"]
+                assert u in net.memory[parent][FRAGMENT_TREE.children_key]
+
+    def test_extra_graph_edges_do_not_confuse_partition(self):
+        # The network may have non-tree edges; the partition must ignore
+        # them (it runs over the spanning tree only).
+        tree = RootedTree.path(12)
+        graph = tree.to_graph()
+        graph.add_edge(0, 11)
+        graph.add_edge(3, 9)
+        net = CongestNetwork(graph)
+        load_tree_into_memory(net, tree, SPANNING_TREE)
+        threshold = run_distributed_partition(net)
+        dec = partition_tree(tree, threshold)
+        for u in tree.nodes:
+            assert net.memory[u]["frag:id"] == dec.fragment_id(u)
+
+    def test_default_threshold_is_sqrt(self):
+        tree = RootedTree.path(100)
+        net = CongestNetwork(tree.to_graph())
+        load_tree_into_memory(net, tree, SPANNING_TREE)
+        threshold = run_distributed_partition(net)
+        assert threshold == math.isqrt(99) + 1

@@ -1,0 +1,169 @@
+"""Unit tests for graph generators (shape, determinism, known cuts)."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    barbell_graph,
+    build_family,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    cycle_power_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    planted_cut_graph,
+    planted_cut_sides,
+    random_regular_graph,
+    random_spanning_tree,
+    random_tree,
+    star_graph,
+    weighted_ring_of_cliques,
+    is_spanning_tree,
+    FAMILY_BUILDERS,
+)
+from repro.baselines import stoer_wagner_min_cut
+
+
+class TestStructuredFamilies:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.number_of_nodes == 6
+        assert g.number_of_edges == 5
+        assert g.degree(0) == 1
+        assert g.degree(3) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.number_of_edges == 5
+        assert all(g.degree(u) == 2 for u in g.nodes)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(Exception):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.number_of_edges == 15
+        assert stoer_wagner_min_cut(g).value == 5.0
+
+    def test_star_min_cut_is_one(self):
+        g = star_graph(8)
+        assert stoer_wagner_min_cut(g).value == 1.0
+
+    def test_grid_shape(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes == 12
+        assert g.number_of_edges == 3 * 3 + 2 * 4
+        assert g.is_connected()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(AlgorithmError):
+            path_graph(0)
+        with pytest.raises(AlgorithmError):
+            grid_graph(0, 3)
+
+
+class TestRandomFamilies:
+    def test_gnp_deterministic_per_seed(self):
+        a = gnp_random_graph(20, 0.3, seed=4)
+        b = gnp_random_graph(20, 0.3, seed=4)
+        c = gnp_random_graph(20, 0.3, seed=5)
+        assert a.edge_list() == b.edge_list()
+        assert a.edge_list() != c.edge_list()
+
+    def test_gnp_extreme_probabilities(self):
+        assert gnp_random_graph(10, 0.0).number_of_edges == 0
+        assert gnp_random_graph(10, 1.0).number_of_edges == 45
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(AlgorithmError):
+            gnp_random_graph(5, 1.5)
+
+    def test_connected_gnp_is_connected(self):
+        g = connected_gnp_graph(30, 0.15, seed=2)
+        assert g.is_connected()
+
+    def test_connected_gnp_gives_up(self):
+        with pytest.raises(AlgorithmError):
+            connected_gnp_graph(30, 0.0, max_attempts=3)
+
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(12, 4, seed=1)
+        assert all(g.degree(u) == 4 for u in g.nodes)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(AlgorithmError):
+            random_regular_graph(5, 3)
+
+    def test_random_tree_is_tree(self):
+        t = random_tree(25, seed=9)
+        assert len(t) == 25
+        assert len(list(t.edges())) == 24
+
+    def test_random_tree_varies_with_seed(self):
+        t1 = random_tree(25, seed=1)
+        t2 = random_tree(25, seed=2)
+        assert sorted(t1.edges()) != sorted(t2.edges())
+
+    def test_random_tree_tiny(self):
+        assert len(random_tree(1)) == 1
+        assert len(random_tree(2)) == 2
+
+    def test_random_spanning_tree_spans(self):
+        g = connected_gnp_graph(20, 0.3, seed=3)
+        t = random_spanning_tree(g, seed=1)
+        assert is_spanning_tree(g, list(t.edges()))
+
+    def test_random_spanning_tree_varies(self):
+        g = complete_graph(10)
+        t1 = random_spanning_tree(g, seed=1)
+        t2 = random_spanning_tree(g, seed=2)
+        assert sorted(t1.edges()) != sorted(t2.edges())
+
+
+class TestPlantedCuts:
+    @pytest.mark.parametrize("cut", [1, 2, 4, 6])
+    def test_planted_cut_is_min_cut(self, cut):
+        g = planted_cut_graph((12, 14), cut, seed=cut)
+        assert stoer_wagner_min_cut(g).value == float(cut)
+
+    def test_planted_side_value(self):
+        g = planted_cut_graph((9, 9), 2, seed=0)
+        assert g.cut_value(planted_cut_sides((9, 9))) == 2.0
+
+    def test_planted_validation(self):
+        with pytest.raises(AlgorithmError):
+            planted_cut_graph((1, 5), 1)
+        with pytest.raises(AlgorithmError):
+            planted_cut_graph((5, 5), 0)
+
+    def test_barbell_min_cut(self):
+        g = barbell_graph(6, bridges=2)
+        assert stoer_wagner_min_cut(g).value == 2.0
+
+    def test_ring_of_cliques_min_cut(self):
+        g = weighted_ring_of_cliques(4, 5, bridge_weight=0.5)
+        assert stoer_wagner_min_cut(g).value == 1.0
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_cycle_power_min_cut_is_2k(self, k):
+        g = cycle_power_graph(20, k)
+        assert stoer_wagner_min_cut(g).value == 2.0 * k
+
+    def test_cycle_power_size_check(self):
+        with pytest.raises(AlgorithmError):
+            cycle_power_graph(5, 2)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("name", sorted(FAMILY_BUILDERS))
+    def test_families_build_connected(self, name):
+        g = build_family(name, 24, seed=1)
+        assert g.is_connected()
+        assert g.number_of_nodes >= 4
+
+    def test_unknown_family(self):
+        with pytest.raises(AlgorithmError):
+            build_family("nope", 10)

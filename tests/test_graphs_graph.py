@@ -1,0 +1,203 @@
+"""Unit tests for the WeightedGraph substrate."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs import WeightedGraph, edge_key
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = WeightedGraph()
+        assert g.number_of_nodes == 0
+        assert g.number_of_edges == 0
+
+    def test_from_edge_tuples(self):
+        g = WeightedGraph([(0, 1), (1, 2, 2.5)])
+        assert g.number_of_nodes == 3
+        assert g.weight(1, 2) == 2.5
+        assert g.weight(0, 1) == 1.0
+
+    def test_add_node_idempotent(self):
+        g = WeightedGraph()
+        g.add_node(5)
+        g.add_node(5)
+        assert g.nodes == [5]
+
+    def test_parallel_edges_merge_weights(self):
+        g = WeightedGraph()
+        g.add_edge(0, 1, 1.5)
+        g.add_edge(1, 0, 2.5)
+        assert g.weight(0, 1) == 4.0
+        assert g.number_of_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(3, 3)
+
+    def test_nonpositive_weight_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -2.0)
+
+    def test_set_edge_weight_overwrites(self):
+        g = WeightedGraph([(0, 1, 2.0)])
+        g.set_edge_weight(0, 1, 5.0)
+        assert g.weight(1, 0) == 5.0
+
+    def test_set_edge_weight_missing_edge(self):
+        g = WeightedGraph([(0, 1)])
+        with pytest.raises(GraphError):
+            g.set_edge_weight(0, 2, 1.0)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = WeightedGraph([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert g.number_of_nodes == 3
+
+    def test_remove_missing_edge(self):
+        g = WeightedGraph([(0, 1)])
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 2)
+
+    def test_remove_node_clears_incident_edges(self):
+        g = WeightedGraph([(0, 1), (1, 2), (0, 2)])
+        g.remove_node(1)
+        assert 1 not in g
+        assert g.has_edge(0, 2)
+        assert g.degree(0) == 1
+
+    def test_remove_missing_node(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.remove_node(9)
+
+
+class TestQueries:
+    def test_degree_and_weighted_degree(self, triangle):
+        assert triangle.degree(0) == 2
+        assert triangle.weighted_degree(0) == 4.0
+        assert triangle.weighted_degree(1) == 3.0
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == 6.0
+
+    def test_neighbors_order_is_insertion(self):
+        g = WeightedGraph([(0, 2), (0, 1)])
+        assert g.neighbors(0) == [2, 1]
+
+    def test_unknown_node_queries_raise(self):
+        g = WeightedGraph([(0, 1)])
+        with pytest.raises(GraphError):
+            g.neighbors(7)
+        with pytest.raises(GraphError):
+            g.degree(7)
+        with pytest.raises(GraphError):
+            g.weight(0, 7)
+
+    def test_edges_iterates_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        keys = {edge_key(u, v) for u, v, _ in edges}
+        assert len(keys) == 3
+
+    def test_edge_list_sorted_for_int_nodes(self, triangle):
+        assert triangle.edge_list() == [(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]
+
+    def test_len_and_contains(self, triangle):
+        assert len(triangle) == 3
+        assert 2 in triangle
+        assert 9 not in triangle
+
+
+class TestCutValue:
+    def test_triangle_cuts(self, triangle):
+        assert triangle.cut_value({0}) == 4.0
+        assert triangle.cut_value({1}) == 3.0
+        assert triangle.cut_value({2}) == 5.0
+        assert triangle.cut_value({0, 1}) == 5.0
+
+    def test_cut_is_symmetric(self, small_planted):
+        side = set(range(10))
+        other = set(small_planted.nodes) - side
+        assert small_planted.cut_value(side) == small_planted.cut_value(other)
+
+    def test_planted_cut_value(self, small_planted):
+        assert small_planted.cut_value(set(range(10))) == 3.0
+
+    def test_trivial_cut_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.cut_value(set())
+        with pytest.raises(GraphError):
+            triangle.cut_value({0, 1, 2})
+
+    def test_cut_with_unknown_node_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.cut_value({0, 99})
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_edge(0, 1, 10.0)
+        assert triangle.weight(0, 1) == 1.0
+        assert clone.weight(0, 1) == 11.0
+
+    def test_copy_preserves_isolated_nodes(self):
+        g = WeightedGraph()
+        g.add_node(42)
+        assert g.copy().nodes == [42]
+
+    def test_subgraph_induced(self):
+        g = WeightedGraph([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = g.subgraph({0, 1, 2})
+        assert sub.number_of_nodes == 3
+        assert sub.number_of_edges == 2
+        assert not sub.has_edge(0, 3)
+
+    def test_subgraph_unknown_node(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.subgraph({0, 77})
+
+    def test_reweighted(self, triangle):
+        doubled = triangle.reweighted(lambda u, v, w: 2 * w)
+        assert doubled.weight(1, 2) == 4.0
+        assert triangle.weight(1, 2) == 2.0
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        g = WeightedGraph([(0, 1), (2, 3)])
+        g.add_node(4)
+        comps = sorted(g.connected_components(), key=lambda s: min(s))
+        assert comps == [{0, 1}, {2, 3}, {4}]
+
+    def test_is_connected(self, triangle):
+        assert triangle.is_connected()
+        assert not WeightedGraph().is_connected()
+
+    def test_require_connected_raises(self):
+        g = WeightedGraph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            g.require_connected()
+
+    def test_single_node_is_connected(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        assert g.is_connected()
+
+
+class TestEdgeKey:
+    def test_canonical_for_ints(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+    def test_canonical_for_mixed_types(self):
+        assert edge_key("b", "a") == ("a", "b")

@@ -1,0 +1,167 @@
+"""Unit tests for graph properties and edge-list IO."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs import (
+    WeightedGraph,
+    bfs_distances,
+    bfs_tree_parents,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    degree_statistics,
+    diameter,
+    eccentricity,
+    grid_graph,
+    is_spanning_tree,
+    min_weighted_degree,
+    path_graph,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestDistances:
+    def test_bfs_distances_path(self):
+        g = path_graph(6)
+        dist = bfs_distances(g, 0)
+        assert dist == {i: i for i in range(6)}
+
+    def test_bfs_distances_unreachable_omitted(self):
+        g = WeightedGraph([(0, 1), (2, 3)])
+        assert set(bfs_distances(g, 0)) == {0, 1}
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(WeightedGraph([(0, 1)]), 9)
+
+    def test_bfs_tree_parents_consistent(self):
+        g = grid_graph(4, 4)
+        parent = bfs_tree_parents(g, 0)
+        dist = bfs_distances(g, 0)
+        assert len(parent) == 15
+        for child, par in parent.items():
+            assert dist[child] == dist[par] + 1
+
+    def test_eccentricity(self):
+        g = path_graph(9)
+        assert eccentricity(g, 0) == 8
+        assert eccentricity(g, 4) == 4
+
+    def test_eccentricity_disconnected(self):
+        g = WeightedGraph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(g, 0)
+
+
+class TestDiameter:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(10), 9),
+            (cycle_graph(10), 5),
+            (complete_graph(7), 1),
+            (grid_graph(3, 5), 6),
+        ],
+    )
+    def test_exact_diameters(self, graph, expected):
+        assert diameter(graph) == expected
+
+    def test_double_sweep_on_large_path(self):
+        # Above the exact threshold the double-sweep estimate runs —
+        # exact on trees/paths.
+        g = path_graph(700)
+        assert diameter(g) == 699
+
+    def test_diameter_requires_connected(self):
+        g = WeightedGraph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            diameter(g)
+
+
+class TestDegreeStatistics:
+    def test_statistics(self):
+        g = WeightedGraph([(0, 1, 3.0), (1, 2, 1.0)])
+        stats = degree_statistics(g)
+        assert stats["min_degree"] == 1
+        assert stats["max_degree"] == 2
+        assert stats["min_weighted_degree"] == 1.0
+
+    def test_min_weighted_degree_upper_bounds_cut(self):
+        from repro.baselines import stoer_wagner_min_cut
+
+        g = connected_gnp_graph(16, 0.4, seed=1, weight_range=(1.0, 3.0))
+        assert stoer_wagner_min_cut(g).value <= min_weighted_degree(g) + 1e-9
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            degree_statistics(WeightedGraph())
+
+
+class TestSpanningTreeCheck:
+    def test_accepts_valid(self):
+        g = cycle_graph(5)
+        assert is_spanning_tree(g, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+    def test_rejects_cycle(self):
+        g = cycle_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_rejects_wrong_count(self):
+        g = cycle_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2)])
+
+    def test_rejects_non_edges(self):
+        g = path_graph(4)
+        assert not is_spanning_tree(g, [(0, 1), (1, 2), (0, 3)])
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        g = WeightedGraph([(0, 1, 1.5), (1, 2, 2.0)])
+        g.add_node(7)
+        path = tmp_path / "graph.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.edge_list() == g.edge_list()
+        assert 7 in back
+
+    def test_read_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# header\n\n0 1 2.0\n", encoding="utf-8")
+        g = read_edge_list(path)
+        assert g.weight(0, 1) == 2.0
+
+    def test_read_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_string_nodes_round_trip(self, tmp_path):
+        g = WeightedGraph([("a", "b", 1.0)])
+        path = tmp_path / "s.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.has_edge("a", "b")
+
+
+class TestNetworkxBridge:
+    def test_round_trip_via_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graphs import from_networkx, to_networkx
+
+        g = WeightedGraph([(0, 1, 2.0), (1, 2, 3.0)])
+        nx_graph = to_networkx(g)
+        assert nx_graph.number_of_edges() == 2
+        back = from_networkx(nx_graph)
+        assert back.edge_list() == g.edge_list()
+
+    def test_from_networkx_default_weight(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graphs import from_networkx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1)
+        assert from_networkx(nx_graph).weight(0, 1) == 1.0

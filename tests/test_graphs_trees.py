@@ -1,0 +1,173 @@
+"""Unit tests for the RootedTree substrate."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.graphs import RootedTree, WeightedGraph
+
+
+@pytest.fixture
+def sample_tree() -> RootedTree:
+    #        0
+    #       / \
+    #      1   2
+    #     / \    \
+    #    3   4    5
+    #        |
+    #        6
+    return RootedTree(0, {1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 4})
+
+
+class TestConstruction:
+    def test_basic_structure(self, sample_tree):
+        assert sample_tree.root == 0
+        assert len(sample_tree) == 7
+        assert sample_tree.parent(0) is None
+        assert sample_tree.parent(6) == 4
+        assert sample_tree.children(1) == [3, 4]
+
+    def test_root_in_parent_map_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree(0, {0: 1})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree(0, {1: 99})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree(0, {1: 2, 2: 1})
+
+    def test_from_edges(self):
+        t = RootedTree.from_edges(0, [(0, 1), (1, 2), (0, 3)])
+        assert t.parent(2) == 1
+        assert t.depth(2) == 2
+
+    def test_from_edges_wrong_count(self):
+        with pytest.raises(TreeError):
+            RootedTree.from_edges(0, [(0, 1), (1, 2), (0, 2)])
+
+    def test_from_edges_disconnected(self):
+        with pytest.raises(TreeError):
+            RootedTree.from_edges(0, [(0, 1), (2, 3), (3, 4)])
+
+    def test_path_and_star_factories(self):
+        path = RootedTree.path(5)
+        assert path.height() == 4
+        star = RootedTree.star(5)
+        assert star.height() == 1
+        assert len(star.leaves()) == 4
+
+    def test_single_node(self):
+        t = RootedTree(0, {})
+        assert t.nodes == [0]
+        assert t.height() == 0
+        assert t.is_leaf(0)
+
+
+class TestAccessors:
+    def test_depths(self, sample_tree):
+        assert sample_tree.depth(0) == 0
+        assert sample_tree.depth(6) == 3
+        assert sample_tree.height() == 3
+
+    def test_leaves(self, sample_tree):
+        assert sorted(sample_tree.leaves()) == [3, 5, 6]
+
+    def test_edges_oriented_child_parent(self, sample_tree):
+        edges = dict(sample_tree.edges())
+        assert edges[6] == 4
+        assert len(edges) == 6
+
+    def test_unknown_node_raises(self, sample_tree):
+        with pytest.raises(TreeError):
+            sample_tree.parent(42)
+        with pytest.raises(TreeError):
+            sample_tree.children(42)
+
+
+class TestOrders:
+    def test_preorder_root_first_parents_before_children(self, sample_tree):
+        order = sample_tree.preorder()
+        position = {u: i for i, u in enumerate(order)}
+        assert order[0] == 0
+        for child, parent in sample_tree.edges():
+            assert position[parent] < position[child]
+
+    def test_postorder_children_before_parents(self, sample_tree):
+        order = sample_tree.postorder()
+        position = {u: i for i, u in enumerate(order)}
+        assert order[-1] == 0
+        for child, parent in sample_tree.edges():
+            assert position[child] < position[parent]
+
+    def test_orders_cover_all_nodes(self, sample_tree):
+        assert sorted(sample_tree.preorder()) == sorted(sample_tree.nodes)
+        assert sorted(sample_tree.postorder()) == sorted(sample_tree.nodes)
+
+
+class TestSubtrees:
+    def test_subtree_sets(self, sample_tree):
+        assert sample_tree.subtree(1) == {1, 3, 4, 6}
+        assert sample_tree.subtree(2) == {2, 5}
+        assert sample_tree.subtree(0) == set(sample_tree.nodes)
+
+    def test_subtree_sizes_sweep_matches_sets(self, sample_tree):
+        sizes = sample_tree.subtree_sizes()
+        for u in sample_tree.nodes:
+            assert sizes[u] == len(sample_tree.subtree(u))
+
+    def test_ancestors(self, sample_tree):
+        assert sample_tree.ancestors(6) == [4, 1, 0]
+        assert sample_tree.ancestors(6, include_self=True) == [6, 4, 1, 0]
+        assert sample_tree.ancestors(0) == []
+
+    def test_is_ancestor(self, sample_tree):
+        assert sample_tree.is_ancestor(0, 6)
+        assert sample_tree.is_ancestor(1, 6)
+        assert sample_tree.is_ancestor(6, 6)
+        assert not sample_tree.is_ancestor(2, 6)
+        assert not sample_tree.is_ancestor(6, 1)
+
+
+class TestLCA:
+    def test_lca_basic(self, sample_tree):
+        assert sample_tree.lca(3, 6) == 1
+        assert sample_tree.lca(3, 5) == 0
+        assert sample_tree.lca(4, 6) == 4
+        assert sample_tree.lca(6, 6) == 6
+        assert sample_tree.lca(0, 5) == 0
+
+    def test_lca_on_path(self):
+        path = RootedTree.path(30)
+        assert path.lca(29, 13) == 13
+        assert path.lca(7, 22) == 7
+
+    def test_lca_matches_brute_force(self):
+        import random
+
+        from repro.graphs import random_tree
+
+        for seed in range(5):
+            tree = random_tree(40, seed=seed)
+            rng = random.Random(seed)
+            for _ in range(40):
+                u = rng.randrange(40)
+                v = rng.randrange(40)
+                anc_u = tree.ancestors(u, include_self=True)
+                anc_v = set(tree.ancestors(v, include_self=True))
+                expected = next(a for a in anc_u if a in anc_v)
+                assert tree.lca(u, v) == expected
+
+
+class TestConversion:
+    def test_to_graph(self, sample_tree):
+        g = sample_tree.to_graph(weight=2.0)
+        assert g.number_of_nodes == 7
+        assert g.number_of_edges == 6
+        assert g.weight(4, 6) == 2.0
+        assert g.is_connected()
+
+    def test_to_graph_single_node(self):
+        g = RootedTree(3, {}).to_graph()
+        assert g.nodes == [3]

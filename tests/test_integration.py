@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the full pipeline.
+
+Each test exercises several subsystems together, mirroring the paper's
+own composition: MST → partition → Theorem 2.1 → packing → sampling.
+"""
+
+import pytest
+
+from repro.baselines import (
+    matula_approx_min_cut,
+    stoer_wagner_min_cut,
+    su_approx_min_cut,
+)
+from repro.congest import CongestNetwork
+from repro.core import one_respecting_min_cut_congest, one_respecting_min_cut_reference
+from repro.graphs import (
+    barbell_graph,
+    connected_gnp_graph,
+    diameter,
+    grid_graph,
+    planted_cut_graph,
+    random_regular_graph,
+    weighted_ring_of_cliques,
+)
+from repro.lowerbound import das_sarma_instance
+from repro.mincut import minimum_cut_approx, minimum_cut_exact
+from repro.mst import boruvka_mst
+from repro.packing import GreedyTreePacking, one_respects
+
+
+class TestFullPipelineOnKnownCuts:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (barbell_graph(6, bridges=2), 2.0),
+            (weighted_ring_of_cliques(3, 4, bridge_weight=1.0), 2.0),
+            (grid_graph(4, 4), 2.0),
+        ],
+    )
+    def test_exact_pipeline(self, graph, expected):
+        assert minimum_cut_exact(graph).value == pytest.approx(expected)
+
+    def test_distributed_mst_feeds_theorem21(self):
+        """Borůvka's distributed MST output works directly as Theorem
+        2.1 input on the same network (full measured pipeline)."""
+        g = connected_gnp_graph(24, 0.25, seed=6, weight_range=(1.0, 5.0))
+        net = CongestNetwork(g)
+        tree = boruvka_mst(net)
+        ref = one_respecting_min_cut_reference(g, tree)
+        dist = one_respecting_min_cut_congest(g, tree, network=net)
+        assert dist.best_value == pytest.approx(ref.best_value)
+        assert net.metrics.measured_rounds > 0
+
+    def test_all_algorithms_agree_on_planted_instance(self):
+        g = planted_cut_graph((13, 13), 3, seed=9)
+        truth = stoer_wagner_min_cut(g).value
+        assert truth == pytest.approx(3.0)
+        assert minimum_cut_exact(g).value == pytest.approx(truth)
+        assert minimum_cut_exact(g, mode="congest").value == pytest.approx(truth)
+        approx = minimum_cut_approx(g, epsilon=0.5, seed=0)
+        assert truth <= approx.value + 1e-9 <= 1.5 * truth + 1e-9
+        matula = matula_approx_min_cut(g)
+        assert truth - 1e-9 <= matula.value <= 2.5 * truth + 1e-9
+        su = su_approx_min_cut(g, seed=1)
+        assert su.value >= truth - 1e-9
+
+    def test_regular_graph_pipeline(self):
+        g = random_regular_graph(20, 4, seed=3)
+        if not g.is_connected():
+            pytest.skip("sampled regular graph disconnected")
+        truth = stoer_wagner_min_cut(g).value
+        assert minimum_cut_exact(g).value == pytest.approx(truth)
+
+
+class TestRoundComplexityShape:
+    def test_rounds_scale_sublinearly_on_hard_family(self):
+        """The √n shape: quadrupling n should far less than quadruple the
+        measured rounds (after removing the D part, which stays ~log)."""
+        small = das_sarma_instance(4, 4)
+        large = das_sarma_instance(8, 8)
+        results = []
+        for inst in (small, large):
+            exact = minimum_cut_exact(
+                inst.graph, mode="congest", tree_count=1
+            )
+            results.append(exact.metrics.measured_rounds)
+        n_ratio = large.graph.number_of_nodes / small.graph.number_of_nodes
+        rounds_ratio = results[1] / results[0]
+        assert rounds_ratio < n_ratio
+
+    def test_rounds_dominated_by_diameter_on_path_like(self):
+        # On a long cycle D ≈ n/2; rounds must stay within a polylog
+        # factor of D (the D term of the bound).
+        from repro.graphs import cycle_graph
+        from repro.graphs import random_spanning_tree
+
+        g = cycle_graph(64)
+        tree = random_spanning_tree(g, seed=0)
+        dist = one_respecting_min_cut_congest(g, tree)
+        d = diameter(g)
+        assert dist.metrics.measured_rounds <= 40 * d
+
+    def test_packing_tree_respects_min_cut_eventually(self):
+        g = planted_cut_graph((11, 11), 2, seed=3)
+        side = set(range(11))
+        packing = GreedyTreePacking(g)
+        assert any(one_respects(t, side) for t in packing.grow_to(10))
+
+
+class TestCrossValidationSweep:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_five_way_agreement(self, seed):
+        g = connected_gnp_graph(14, 0.35, seed=seed + 60)
+        truth = stoer_wagner_min_cut(g).value
+        exact = minimum_cut_exact(g).value
+        assert exact == pytest.approx(truth)
+        matula = matula_approx_min_cut(g).value
+        assert truth - 1e-9 <= matula <= 2.5 * truth + 1e-9
+        # The distributed Theorem 2.1 result for any spanning tree upper
+        # bounds truth and lower bounds nothing smaller than truth.
+        from repro.graphs import random_spanning_tree
+
+        tree = random_spanning_tree(g, seed=seed)
+        dist = one_respecting_min_cut_congest(g, tree)
+        assert dist.best_value >= truth - 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the Das Sarma hard family and the analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_power_law, format_table, normalized_rounds
+from repro.errors import AlgorithmError
+from repro.graphs import diameter
+from repro.lowerbound import das_sarma_instance, square_instance
+
+
+class TestHardInstances:
+    def test_connected_and_sized(self):
+        inst = das_sarma_instance(5, 8)
+        assert inst.graph.is_connected()
+        assert inst.graph.number_of_nodes >= 5 * 8
+
+    def test_low_diameter(self):
+        inst = das_sarma_instance(8, 16)
+        d = diameter(inst.graph)
+        # Tree overlay keeps the diameter logarithmic in path length.
+        assert d <= 4 * (inst.tree_depth + 2)
+
+    def test_planted_side_value_recorded(self):
+        inst = das_sarma_instance(4, 6)
+        assert inst.graph.cut_value(inst.planted_side) == pytest.approx(
+            inst.planted_cut_value
+        )
+
+    def test_planted_cut_is_minimum(self):
+        from repro.baselines import stoer_wagner_min_cut
+
+        inst = das_sarma_instance(3, 5)
+        assert stoer_wagner_min_cut(inst.graph).value == pytest.approx(
+            inst.planted_cut_value
+        )
+
+    def test_square_instance_scales(self):
+        inst = square_instance(100)
+        assert inst.paths == inst.path_length == 10
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            das_sarma_instance(0, 5)
+        with pytest.raises(AlgorithmError):
+            das_sarma_instance(3, 1)
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        xs = [10.0, 20.0, 40.0, 80.0]
+        ys = [3.0 * x ** 0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(100.0) == pytest.approx(30.0)
+
+    def test_linear_relationship(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        fit = fit_power_law(xs, [5 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(AlgorithmError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(AlgorithmError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(AlgorithmError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])
+        with pytest.raises(AlgorithmError):
+            fit_power_law([2.0, 2.0], [1.0, 1.0])
+
+    def test_normalized_rounds(self):
+        assert normalized_rounds(100, 100, 10) == pytest.approx(100 / 20.0)
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.500" in out
+        assert "3" in out  # integral floats render without decimals
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["wide-value"], ["x"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("wide-value")

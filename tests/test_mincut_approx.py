@@ -1,0 +1,107 @@
+"""Tests for the (1+ε) sampling-based approximation driver."""
+
+import pytest
+
+from repro.baselines import stoer_wagner_min_cut
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    planted_cut_graph,
+)
+from repro.mincut import minimum_cut_approx
+
+
+class TestSmallLambdaExactPath:
+    def test_small_cut_goes_exact(self):
+        g = planted_cut_graph((10, 10), 2, seed=1)
+        result = minimum_cut_approx(g, epsilon=0.5, seed=0)
+        assert result.probability == 1.0
+        assert not result.used_sampling
+        assert result.value == pytest.approx(2.0)
+
+    def test_cycle_exact(self):
+        result = minimum_cut_approx(cycle_graph(12), epsilon=0.3, seed=0)
+        assert result.value == pytest.approx(2.0)
+
+
+class TestSamplingPath:
+    def _dense_instance(self, seed=0):
+        # Complete graph: λ = n − 1, large enough to engage sampling.
+        return complete_graph(80)
+
+    def test_sampling_engages_on_large_lambda(self):
+        g = self._dense_instance()
+        result = minimum_cut_approx(g, epsilon=0.5, seed=3)
+        assert result.used_sampling
+        assert result.probability < 1.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ratio_within_epsilon(self, seed):
+        g = self._dense_instance(seed)
+        truth = 79.0
+        result = minimum_cut_approx(g, epsilon=0.5, seed=seed)
+        ratio = result.value / truth
+        assert 1.0 - 1e-9 <= ratio <= 1.5 + 1e-9
+
+    def test_value_is_original_graph_cut(self):
+        g = self._dense_instance(7)
+        result = minimum_cut_approx(g, epsilon=0.6, seed=1)
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_tighter_epsilon_samples_more(self):
+        g = self._dense_instance(2)
+        loose = minimum_cut_approx(g, epsilon=1.0, seed=5)
+        tight = minimum_cut_approx(g, epsilon=0.4, seed=5)
+        if loose.used_sampling and tight.used_sampling:
+            assert tight.probability >= loose.probability
+
+    def test_dense_planted_cut(self):
+        g = planted_cut_graph((30, 30), 35, seed=1, intra_p=0.95)
+        truth = stoer_wagner_min_cut(g).value
+        result = minimum_cut_approx(g, epsilon=0.5, seed=2)
+        assert truth - 1e-9 <= result.value <= 1.5 * truth + 1e-9
+
+
+class TestHalvingSearch:
+    def test_overestimated_guess_is_halved_down(self):
+        # Barbell: min weighted degree ≈ side-1 (the initial guess) but
+        # λ = 1, so the first skeletons drop the bridge and disconnect;
+        # the search must halve its way down and end on the exact path.
+        from repro.graphs import barbell_graph
+
+        g = barbell_graph(60, bridges=1)
+        result = minimum_cut_approx(g, epsilon=1.0, seed=0)
+        assert result.halvings >= 1
+        assert result.value == pytest.approx(1.0)
+        assert not result.used_sampling  # λ is tiny → exact path
+
+    def test_halvings_zero_when_guess_is_right(self):
+        g = complete_graph(80)
+        result = minimum_cut_approx(g, epsilon=0.5, seed=3)
+        # min degree = λ here, so the first guess already stabilises.
+        assert result.halvings == 0
+
+
+class TestValidation:
+    def test_epsilon_range(self):
+        g = cycle_graph(5)
+        with pytest.raises(AlgorithmError):
+            minimum_cut_approx(g, epsilon=0.0)
+        with pytest.raises(AlgorithmError):
+            minimum_cut_approx(g, epsilon=1.5)
+
+    def test_disconnected_rejected(self):
+        from repro.graphs import WeightedGraph
+
+        g = WeightedGraph([(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            minimum_cut_approx(g, epsilon=0.5)
+
+    def test_deterministic_per_seed(self):
+        g = connected_gnp_graph(24, 0.5, seed=9)
+        a = minimum_cut_approx(g, epsilon=0.5, seed=4)
+        b = minimum_cut_approx(g, epsilon=0.5, seed=4)
+        assert a.value == b.value
+        assert a.side == b.side

@@ -1,0 +1,117 @@
+"""Tests for the packing-based exact minimum-cut driver."""
+
+import pytest
+
+from repro.baselines import stoer_wagner_min_cut
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    barbell_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    path_graph,
+    planted_cut_graph,
+    star_graph,
+    weighted_ring_of_cliques,
+)
+from repro.mincut import default_tree_schedule, minimum_cut_exact
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_stoer_wagner_random(self, seed):
+        g = connected_gnp_graph(16 + 2 * seed, 0.3, seed=seed)
+        exact = minimum_cut_exact(g)
+        truth = stoer_wagner_min_cut(g)
+        assert exact.value == pytest.approx(truth.value)
+
+    @pytest.mark.parametrize("cut", [1, 2, 3, 5])
+    def test_planted_cuts(self, cut):
+        g = planted_cut_graph((14, 15), cut, seed=cut)
+        exact = minimum_cut_exact(g)
+        assert exact.value == pytest.approx(float(cut))
+
+    def test_side_realises_value(self):
+        g = connected_gnp_graph(20, 0.3, seed=3)
+        exact = minimum_cut_exact(g)
+        assert g.cut_value(exact.side) == pytest.approx(exact.value)
+
+    def test_bridge_graph(self):
+        g = barbell_graph(5, bridges=1)
+        exact = minimum_cut_exact(g)
+        assert exact.value == pytest.approx(1.0)
+        assert len(exact.side) in (5, 6)  # one bell, possibly w/ bridge node
+
+    def test_weighted_ring(self):
+        g = weighted_ring_of_cliques(4, 4, bridge_weight=0.5)
+        exact = minimum_cut_exact(g)
+        assert exact.value == pytest.approx(1.0)
+
+    def test_path_graph_cut_one(self):
+        exact = minimum_cut_exact(path_graph(12))
+        assert exact.value == pytest.approx(1.0)
+
+    def test_star_graph(self):
+        exact = minimum_cut_exact(star_graph(9))
+        assert exact.value == pytest.approx(1.0)
+        assert len(exact.side) in (1, 8)
+
+    def test_cycle_graph_cut_two(self):
+        exact = minimum_cut_exact(cycle_graph(10))
+        assert exact.value == pytest.approx(2.0)
+
+
+class TestSchedule:
+    def test_adaptive_stops_early(self):
+        g = planted_cut_graph((12, 12), 1, seed=0)
+        _patience, max_trees = default_tree_schedule(24)
+        exact = minimum_cut_exact(g)
+        assert exact.trees_used <= max_trees
+
+    def test_explicit_tree_count_is_exact_count(self):
+        g = cycle_graph(8)
+        exact = minimum_cut_exact(g, tree_count=5)
+        assert exact.trees_used == 5
+        assert len(exact.per_tree_values) == 5
+
+    def test_per_tree_values_lower_bounded_by_best(self):
+        g = connected_gnp_graph(18, 0.3, seed=4)
+        exact = minimum_cut_exact(g, tree_count=6)
+        assert min(exact.per_tree_values) == pytest.approx(exact.value)
+        assert exact.per_tree_values[exact.tree_index - 1] == pytest.approx(
+            exact.value
+        )
+
+    def test_patience_parameter(self):
+        g = cycle_graph(12)
+        exact = minimum_cut_exact(g, patience=1)
+        # stops quickly: first tree achieves 2 everywhere on a cycle
+        assert exact.trees_used <= 3
+
+    def test_invalid_mode(self):
+        with pytest.raises(AlgorithmError):
+            minimum_cut_exact(cycle_graph(4), mode="quantum")
+
+
+class TestCongestMode:
+    def test_matches_reference_mode(self):
+        g = planted_cut_graph((10, 10), 2, seed=2)
+        ref = minimum_cut_exact(g)
+        congest = minimum_cut_exact(g, mode="congest")
+        assert congest.value == pytest.approx(ref.value)
+
+    def test_metrics_present_and_charged(self):
+        g = planted_cut_graph((10, 10), 2, seed=2)
+        congest = minimum_cut_exact(g, mode="congest")
+        assert congest.metrics is not None
+        assert congest.metrics.measured_rounds > 0
+        # One KP MST charge per tree + per-tree partition charges.
+        kp_notes = [
+            note
+            for note in congest.metrics.charged_notes
+            if "Kutten-Peleg MST" in note
+        ]
+        assert len(kp_notes) == congest.trees_used
+
+    def test_reference_mode_has_no_metrics(self):
+        g = cycle_graph(6)
+        assert minimum_cut_exact(g).metrics is None

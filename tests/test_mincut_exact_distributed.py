@@ -1,0 +1,87 @@
+"""Tests for the fully-measured exact pipeline (distributed packing +
+distributed partition + Theorem 2.1; zero charged rounds)."""
+
+import pytest
+
+from repro.baselines import stoer_wagner_min_cut
+from repro.congest import CongestNetwork
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    WeightedGraph,
+    connected_gnp_graph,
+    cycle_graph,
+    planted_cut_graph,
+)
+from repro.mincut import minimum_cut_exact_congest_full
+from repro.mincut.exact_distributed import LOAD_KEY, _load_metric
+from repro.mst.boruvka_congest import boruvka_mst
+from repro.packing import GreedyTreePacking
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_ground_truth(self, seed):
+        g = connected_gnp_graph(14, 0.35, seed=seed + 5)
+        truth = stoer_wagner_min_cut(g).value
+        result = minimum_cut_exact_congest_full(g)
+        assert result.value == pytest.approx(truth)
+        assert g.cut_value(result.side) == pytest.approx(result.value)
+
+    def test_planted(self):
+        g = planted_cut_graph((10, 10), 2, seed=1)
+        assert minimum_cut_exact_congest_full(g).value == pytest.approx(2.0)
+
+    def test_cycle(self):
+        assert minimum_cut_exact_congest_full(cycle_graph(9)).value == pytest.approx(2.0)
+
+    def test_no_charged_rounds(self):
+        g = planted_cut_graph((9, 9), 1, seed=0)
+        result = minimum_cut_exact_congest_full(g)
+        assert result.metrics.charged_rounds == 0
+        assert result.metrics.measured_rounds > 0
+
+    def test_pinned_tree_count(self):
+        g = cycle_graph(8)
+        result = minimum_cut_exact_congest_full(g, tree_count=3)
+        assert result.trees_used == 3
+
+    def test_tiny_rejected(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        with pytest.raises(AlgorithmError):
+            minimum_cut_exact_congest_full(g)
+
+
+class TestDistributedPackingFidelity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_trees_match_centralized_packing(self, seed):
+        g = connected_gnp_graph(16, 0.3, seed=seed + 30, weight_range=(1.0, 3.0))
+        net = CongestNetwork(g)
+        loads = {u: {} for u in net.nodes}
+        central = GreedyTreePacking(g)
+        for index in range(3):
+            for u in net.nodes:
+                net.memory[u][LOAD_KEY] = loads[u]
+            distributed_tree = boruvka_mst(net, edge_key=_load_metric)
+            for child, parent in distributed_tree.edges():
+                loads[child][parent] = loads[child].get(parent, 0) + 1
+                loads[parent][child] = loads[parent].get(child, 0) + 1
+            central_tree = central.next_tree()
+            assert {frozenset(e) for e in distributed_tree.edges()} == {
+                frozenset(e) for e in central_tree.edges()
+            }, f"tree {index} diverged"
+
+    def test_loads_are_node_local(self):
+        # After a run each load entry mentions only incident edges.
+        g = cycle_graph(7)
+        net = CongestNetwork(g)
+        loads = {u: {} for u in net.nodes}
+        for u in net.nodes:
+            net.memory[u][LOAD_KEY] = loads[u]
+        tree = boruvka_mst(net, edge_key=_load_metric)
+        for child, parent in tree.edges():
+            loads[child][parent] = loads[child].get(parent, 0) + 1
+            loads[parent][child] = loads[parent].get(child, 0) + 1
+        for u, table in loads.items():
+            for v in table:
+                assert g.has_edge(u, v)

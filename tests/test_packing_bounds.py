@@ -1,0 +1,117 @@
+"""Tests for certified cut bounds and the new generator families."""
+
+import pytest
+
+from repro.baselines import stoer_wagner_min_cut
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    WeightedGraph,
+    caveman_graph,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    hypercube_graph,
+    torus_graph,
+)
+from repro.packing import certified_cut_bounds, edge_disjoint_packing
+from repro.graphs import is_spanning_tree
+
+
+class TestEdgeDisjointPacking:
+    def test_trees_are_disjoint_and_spanning(self):
+        g = complete_graph(8)
+        trees = edge_disjoint_packing(g, seed=1)
+        seen: set = set()
+        for tree in trees:
+            assert is_spanning_tree(g, list(tree.edges()))
+            edges = {frozenset(e) for e in tree.edges()}
+            assert edges.isdisjoint(seen)
+            seen |= edges
+
+    def test_k8_reaches_nash_williams_optimum(self):
+        # K8: m=28, n-1=7 → at most 4 disjoint trees; a perfect
+        # partition exists and the randomized greedy finds it.
+        trees = edge_disjoint_packing(complete_graph(8), seed=0)
+        assert len(trees) == 4
+
+    def test_tree_only_one_packing(self):
+        g = cycle_graph(6)
+        g.remove_edge(0, 5)  # now a path: exactly one spanning tree
+        assert len(edge_disjoint_packing(g)) == 1
+
+    def test_max_trees_cap(self):
+        trees = edge_disjoint_packing(complete_graph(10), max_trees=2)
+        assert len(trees) == 2
+
+    def test_single_node_rejected(self):
+        g = WeightedGraph()
+        g.add_node(0)
+        with pytest.raises(AlgorithmError):
+            edge_disjoint_packing(g)
+
+
+class TestCertifiedBounds:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            complete_graph(8),
+            cycle_graph(12),
+            hypercube_graph(4),
+            torus_graph(4, 4),
+            caveman_graph(4, 5),
+            connected_gnp_graph(18, 0.4, seed=2),
+        ],
+        ids=["K8", "C12", "Q4", "torus", "caveman", "ER"],
+    )
+    def test_interval_contains_lambda(self, graph):
+        bounds = certified_cut_bounds(graph)
+        truth = stoer_wagner_min_cut(graph).value
+        assert bounds.lower - 1e-9 <= truth <= bounds.upper + 1e-9
+
+    def test_upper_witness_is_real_cut(self):
+        g = connected_gnp_graph(16, 0.35, seed=7)
+        bounds = certified_cut_bounds(g)
+        assert g.cut_value(bounds.upper_witness) == pytest.approx(bounds.upper)
+
+    def test_lower_bound_at_least_one(self):
+        bounds = certified_cut_bounds(cycle_graph(5))
+        assert bounds.lower >= 1.0
+
+    def test_tight_on_sparse_er(self):
+        g = connected_gnp_graph(20, 0.4, seed=1)
+        bounds = certified_cut_bounds(g)
+        truth = stoer_wagner_min_cut(g).value
+        if bounds.is_tight:
+            assert bounds.upper == pytest.approx(truth)
+
+
+class TestNewFamilies:
+    def test_hypercube_connectivity_equals_dimension(self):
+        for d in (2, 3, 4):
+            g = hypercube_graph(d)
+            assert g.number_of_nodes == 2 ** d
+            assert stoer_wagner_min_cut(g).value == float(d)
+
+    def test_hypercube_validation(self):
+        with pytest.raises(AlgorithmError):
+            hypercube_graph(0)
+
+    def test_torus_is_4_regular(self):
+        g = torus_graph(4, 6)
+        assert all(g.degree(u) == 4 for u in g.nodes)
+        assert stoer_wagner_min_cut(g).value == 4.0
+
+    def test_torus_validation(self):
+        with pytest.raises(AlgorithmError):
+            torus_graph(2, 5)
+
+    def test_caveman_min_cut_two(self):
+        g = caveman_graph(5, 4)
+        assert g.is_connected()
+        assert stoer_wagner_min_cut(g).value == 2.0
+
+    def test_caveman_validation(self):
+        with pytest.raises(AlgorithmError):
+            caveman_graph(2, 5)
+        with pytest.raises(AlgorithmError):
+            caveman_graph(3, 2)

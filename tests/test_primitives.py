@@ -1,0 +1,268 @@
+"""Unit tests for distributed primitives: BFS, convergecast, dissemination,
+pipelined keyed sums."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.graphs import (
+    RootedTree,
+    complete_graph,
+    connected_gnp_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    bfs_distances,
+)
+from repro.primitives import (
+    BFS_TREE,
+    SPANNING_TREE,
+    Convergecast,
+    DowncastItems,
+    PipelinedKeyedSum,
+    UpcastUnion,
+    build_bfs_tree,
+    gossip_items,
+    load_tree_into_memory,
+    min_pair,
+)
+
+
+class TestBFS:
+    def test_depths_match_bfs_distances(self):
+        g = grid_graph(4, 5)
+        net = CongestNetwork(g)
+        build_bfs_tree(net, root=0)
+        dist = bfs_distances(g, 0)
+        for u in g.nodes:
+            assert net.memory[u][BFS_TREE.depth_key] == dist[u]
+
+    def test_parents_are_one_level_up(self):
+        g = connected_gnp_graph(25, 0.2, seed=1)
+        net = CongestNetwork(g)
+        build_bfs_tree(net, root=0)
+        for u in g.nodes:
+            parent = net.memory[u][BFS_TREE.parent_key]
+            if parent is None:
+                assert u == 0
+            else:
+                assert (
+                    net.memory[u][BFS_TREE.depth_key]
+                    == net.memory[parent][BFS_TREE.depth_key] + 1
+                )
+
+    def test_children_lists_mirror_parents(self):
+        g = cycle_graph(9)
+        net = CongestNetwork(g)
+        build_bfs_tree(net, root=0)
+        for u in g.nodes:
+            for c in net.memory[u][BFS_TREE.children_key]:
+                assert net.memory[c][BFS_TREE.parent_key] == u
+
+    def test_rounds_close_to_eccentricity(self):
+        g = path_graph(30)
+        net = CongestNetwork(g)
+        result = build_bfs_tree(net, root=0)
+        # D rounds to reach the far end + 1 adopt round.
+        assert result.metrics.rounds <= 30 + 2
+
+    def test_default_root_is_min_node(self):
+        g = star_graph(5)
+        net = CongestNetwork(g)
+        build_bfs_tree(net)
+        assert net.memory[0][BFS_TREE.parent_key] is None
+
+    def test_deterministic_tie_break_lowest_id_parent(self):
+        g = complete_graph(6)
+        net = CongestNetwork(g)
+        build_bfs_tree(net, root=0)
+        for u in range(1, 6):
+            assert net.memory[u][BFS_TREE.parent_key] == 0
+
+
+def _install_tree(net, tree):
+    load_tree_into_memory(net, tree, SPANNING_TREE)
+
+
+class TestConvergecast:
+    def test_subtree_sums_on_known_tree(self):
+        tree = RootedTree(0, {1: 0, 2: 0, 3: 1, 4: 1})
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        net.run_phase(
+            "sum",
+            lambda u: Convergecast(
+                SPANNING_TREE, initial=lambda ctx: ctx.node, out_key="s"
+            ),
+        )
+        assert net.memory[0]["s"] == 10
+        assert net.memory[1]["s"] == 8
+        assert net.memory[2]["s"] == 2
+
+    def test_min_pair_combiner(self):
+        tree = RootedTree.path(6)
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        net.run_phase(
+            "min",
+            lambda u: Convergecast(
+                SPANNING_TREE,
+                initial=lambda ctx: (10 - ctx.node, ctx.node),
+                combine=min_pair,
+                out_key="m",
+            ),
+        )
+        assert net.memory[0]["m"] == (5, 5)
+
+    def test_rounds_proportional_to_depth(self):
+        tree = RootedTree.path(25)
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        result = net.run_phase(
+            "sum",
+            lambda u: Convergecast(SPANNING_TREE, initial=lambda ctx: 1, out_key="s"),
+        )
+        assert result.metrics.rounds == 24
+
+    def test_star_is_constant_rounds(self):
+        tree = RootedTree.star(30)
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        result = net.run_phase(
+            "sum",
+            lambda u: Convergecast(SPANNING_TREE, initial=lambda ctx: 1, out_key="s"),
+        )
+        assert net.memory[0]["s"] == 30
+        assert result.metrics.rounds == 1
+
+
+class TestDissemination:
+    def test_downcast_reaches_all_descendants(self):
+        tree = RootedTree(0, {1: 0, 2: 0, 3: 1, 4: 3})
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        net.run_phase(
+            "down",
+            lambda u: DowncastItems(
+                SPANNING_TREE,
+                items=lambda ctx: [("hello", 1)] if ctx.node == 0 else [],
+                out_key="d",
+            ),
+        )
+        for u in tree.nodes:
+            assert net.memory[u]["d"] == [("hello", 1)]
+
+    def test_downcast_pipelines_k_items(self):
+        tree = RootedTree.path(10)
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        k = 6
+        result = net.run_phase(
+            "down",
+            lambda u: DowncastItems(
+                SPANNING_TREE,
+                items=lambda ctx: [(i,) for i in range(k)] if ctx.node == 0 else [],
+                out_key="d",
+            ),
+        )
+        assert len(net.memory[9]["d"]) == k
+        # O(depth + k), not O(depth * k)
+        assert result.metrics.rounds <= 9 + k
+
+    def test_upcast_union_dedups(self):
+        tree = RootedTree(0, {1: 0, 2: 0, 3: 1, 4: 2})
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        result = net.run_phase(
+            "up",
+            lambda u: UpcastUnion(
+                SPANNING_TREE,
+                items=lambda ctx: [("shared",), (ctx.node,)],
+                out_key="u",
+            ),
+        )
+        assert net.memory[0]["u"] == {("shared",), (0,), (1,), (2,), (3,), (4,)}
+        assert net.memory[1]["u"] == {("shared",), (1,), (3,)}
+        # 'shared' travels each edge at most once.
+        assert result.metrics.messages <= 4 * 2 + 4
+
+    def test_gossip_makes_union_global(self):
+        g = connected_gnp_graph(18, 0.25, seed=5)
+        net = CongestNetwork(g)
+        gossip_items(net, lambda ctx: [(ctx.node,)] if ctx.node % 3 == 0 else [], "g")
+        expected = {(u,) for u in g.nodes if u % 3 == 0}
+        for u in g.nodes:
+            assert net.memory[u]["g"] == expected
+
+    def test_gossip_reuses_existing_bfs_tree(self):
+        g = path_graph(6)
+        net = CongestNetwork(g)
+        build_bfs_tree(net)
+        phases_before = len(net.metrics.phases)
+        gossip_items(net, lambda ctx: [(ctx.node,)], "g")
+        names = [p.name for p in net.metrics.phases[phases_before:]]
+        assert names == ["gossip:up", "gossip:down"]
+
+
+class TestPipelinedKeyedSum:
+    def _run(self, tree, contributions, **kwargs):
+        net = CongestNetwork(tree.to_graph())
+        _install_tree(net, tree)
+        result = net.run_phase(
+            "ks",
+            lambda u: PipelinedKeyedSum(
+                SPANNING_TREE,
+                contributions,
+                out_key="k",
+                **kwargs,
+            ),
+        )
+        return net, result
+
+    def test_root_collects_all_key_sums(self):
+        tree = RootedTree(0, {1: 0, 2: 0, 3: 1, 4: 1})
+        net, _ = self._run(tree, lambda ctx: [(100, ctx.node + 1), (200, 1)])
+        root_map = net.memory[0]["k:root"]
+        assert root_map[100] == 1 + 2 + 3 + 4 + 5
+        assert root_map[200] == 5
+
+    def test_capture_own_key_absorbs_at_owner(self):
+        # Contributions keyed by an ancestor: each node contributes 1 to
+        # every ancestor (including itself).
+        tree = RootedTree(0, {1: 0, 2: 1, 3: 2, 4: 2})
+        def contributions(ctx):
+            chain = []
+            node = ctx.node
+            parents = {1: 0, 2: 1, 3: 2, 4: 2}
+            while node is not None:
+                chain.append((node, 1))
+                node = parents.get(node)
+            return chain
+
+        net, _ = self._run(tree, contributions, capture_own_key=True)
+        # Captured value at v = subtree size of v.
+        assert net.memory[0]["k"] == 5
+        assert net.memory[1]["k"] == 4
+        assert net.memory[2]["k"] == 3
+        assert net.memory[3]["k"] == 1
+
+    def test_pipelining_rounds_bound(self):
+        depth = 20
+        keys = 15
+        tree = RootedTree.path(depth + 1)
+        net, result = self._run(
+            tree, lambda ctx: [(k, 1) for k in range(keys)]
+        )
+        # O(depth + k) with small constants, far below depth * k.
+        assert result.metrics.rounds <= depth + keys + 5
+        assert net.memory[0]["k:root"] == {k: depth + 1 for k in range(keys)}
+
+    def test_empty_contributions(self):
+        tree = RootedTree.star(4)
+        net, result = self._run(tree, lambda ctx: [])
+        assert net.memory[0].get("k:root", {}) == {}
+
+    def test_duplicate_keys_merge(self):
+        tree = RootedTree.path(2)
+        net, _ = self._run(tree, lambda ctx: [(7, 2), (7, 3)])
+        assert net.memory[0]["k:root"][7] == 10

@@ -1,0 +1,70 @@
+"""Tests for the BlockingKeyedSum ablation comparator."""
+
+from repro.congest import CongestNetwork
+from repro.graphs import RootedTree, random_tree
+from repro.primitives import (
+    BlockingKeyedSum,
+    PipelinedKeyedSum,
+    SPANNING_TREE,
+    load_tree_into_memory,
+)
+
+
+def _run(program_cls, tree, contributions, **kwargs):
+    net = CongestNetwork(tree.to_graph())
+    load_tree_into_memory(net, tree, SPANNING_TREE)
+    result = net.run_phase(
+        "sum",
+        lambda u: program_cls(SPANNING_TREE, contributions, out_key="k", **kwargs),
+    )
+    return net, result
+
+
+class TestBlockingCorrectness:
+    def test_same_root_map_as_pipelined(self):
+        for seed in range(4):
+            tree = random_tree(24, seed=seed)
+            contributions = lambda ctx: [(ctx.node % 4, 1), (7, ctx.node)]
+            net_b, _ = _run(BlockingKeyedSum, tree, contributions)
+            net_p, _ = _run(PipelinedKeyedSum, tree, contributions)
+            assert (
+                net_b.memory[tree.root]["k:root"]
+                == net_p.memory[tree.root]["k:root"]
+            )
+
+    def test_capture_mode_matches(self):
+        tree = RootedTree(0, {1: 0, 2: 1, 3: 2, 4: 2})
+        parents = {1: 0, 2: 1, 3: 2, 4: 2}
+
+        def contributions(ctx):
+            chain = []
+            node = ctx.node
+            while node is not None:
+                chain.append((node, 1))
+                node = parents.get(node)
+            return chain
+
+        net_b, _ = _run(BlockingKeyedSum, tree, contributions, capture_own_key=True)
+        net_p, _ = _run(PipelinedKeyedSum, tree, contributions, capture_own_key=True)
+        for u in tree.nodes:
+            assert net_b.memory[u]["k"] == net_p.memory[u]["k"]
+
+    def test_empty_contributions(self):
+        tree = RootedTree.star(5)
+        net, _ = _run(BlockingKeyedSum, tree, lambda ctx: [])
+        assert net.memory[0].get("k:root", {}) == {}
+
+
+class TestBlockingIsSlower:
+    def test_rounds_scale_with_depth_times_keys(self):
+        depth, keys = 24, 8
+        tree = RootedTree.path(depth + 1)
+        _, blocking = _run(
+            BlockingKeyedSum, tree, lambda ctx: [(k, 1) for k in range(keys)]
+        )
+        _, pipelined = _run(
+            PipelinedKeyedSum, tree, lambda ctx: [(k, 1) for k in range(keys)]
+        )
+        assert pipelined.metrics.rounds <= depth + keys + 4
+        assert blocking.metrics.rounds >= (keys - 1) * depth / 2
+        assert blocking.metrics.rounds > 3 * pipelined.metrics.rounds

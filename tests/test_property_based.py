@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies generate random weighted connected graphs and random rooted
+trees; properties cover the cut function, Karger's lemma, fragment
+partitions, tree packing loads, MST agreement and CONGEST pipelines.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest import CongestNetwork
+from repro.core import compute_karger_quantities, one_respecting_min_cut_reference
+from repro.fragments import partition_tree
+from repro.graphs import RootedTree, WeightedGraph
+from repro.mst import minimum_spanning_tree, minimum_spanning_tree_prim, tree_weight
+from repro.packing import GreedyTreePacking
+
+DEFAULT_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 14, weighted: bool = True):
+    """A connected weighted graph: random tree + random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    graph = WeightedGraph()
+    graph.add_node(0)
+
+    def weight():
+        if not weighted:
+            return 1.0
+        return float(draw(st.integers(min_value=1, max_value=6)))
+
+    for child in range(1, n):
+        graph.add_edge(child, parents[child - 1], weight())
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, weight())
+    return graph
+
+
+@st.composite
+def rooted_trees(draw, max_nodes: int = 20):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = {i: draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)}
+    return RootedTree(0, parents)
+
+
+class TestCutFunctionProperties:
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(), st.data())
+    def test_cut_symmetry(self, graph, data):
+        n = graph.number_of_nodes
+        size = data.draw(st.integers(min_value=1, max_value=n - 1))
+        side = set(graph.nodes[:size])
+        other = set(graph.nodes) - side
+        assert graph.cut_value(side) == graph.cut_value(other)
+
+    @DEFAULT_SETTINGS
+    @given(connected_graphs())
+    def test_singleton_cut_is_weighted_degree(self, graph):
+        for u in graph.nodes:
+            assert graph.cut_value({u}) == graph.weighted_degree(u)
+
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(), st.data())
+    def test_cut_posimodularity_witness(self, graph, data):
+        """C(A) + C(B) >= C(A∖B) + C(B∖A) (posimodularity of cuts)."""
+        nodes = graph.nodes
+        a = {u for u in nodes if data.draw(st.booleans())}
+        b = {u for u in nodes if data.draw(st.booleans())}
+
+        def val(s):
+            if not s or len(s) == len(nodes):
+                return 0.0
+            return graph.cut_value(s)
+
+        assert val(a) + val(b) >= val(a - b) + val(b - a) - 1e-6
+
+
+class TestKargerLemmaProperty:
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(max_nodes=12), st.randoms(use_true_random=False))
+    def test_lemma_on_random_spanning_tree(self, graph, rnd):
+        from repro.graphs import random_spanning_tree
+
+        tree = random_spanning_tree(graph, seed=rnd.randrange(1000))
+        quantities = compute_karger_quantities(graph, tree)
+        for v in graph.nodes:
+            if v == tree.root:
+                continue
+            direct = graph.cut_value(tree.subtree(v))
+            assert abs(quantities.cut_below[v] - direct) < 1e-6
+
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(max_nodes=12))
+    def test_one_respect_min_is_min_over_tree_edges(self, graph):
+        from repro.graphs import random_spanning_tree
+
+        tree = random_spanning_tree(graph, seed=7)
+        result = one_respecting_min_cut_reference(graph, tree)
+        direct = min(
+            graph.cut_value(tree.subtree(child)) for child, _p in tree.edges()
+        )
+        assert abs(result.best_value - direct) < 1e-6
+
+
+class TestPartitionProperties:
+    @DEFAULT_SETTINGS
+    @given(rooted_trees(max_nodes=40), st.integers(min_value=1, max_value=8))
+    def test_partition_always_valid(self, tree, threshold):
+        dec = partition_tree(tree, threshold)
+        dec.validate()
+
+    @DEFAULT_SETTINGS
+    @given(rooted_trees(max_nodes=40))
+    def test_fragment_count_at_most_sqrt_bound(self, tree):
+        n = len(tree)
+        dec = partition_tree(tree)
+        assert dec.fragment_count <= n // dec.threshold + 1
+
+    @DEFAULT_SETTINGS
+    @given(rooted_trees(max_nodes=40), st.integers(min_value=1, max_value=8))
+    def test_fragments_partition_the_nodes(self, tree, threshold):
+        dec = partition_tree(tree, threshold)
+        union: set = set()
+        for fid in dec.fragment_ids():
+            members = dec.members_of(fid)
+            assert union.isdisjoint(members)
+            union |= members
+        assert union == set(tree.nodes)
+
+
+class TestPackingProperties:
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(max_nodes=10, weighted=False), st.integers(2, 5))
+    def test_loads_sum_to_trees_times_edges(self, graph, count):
+        packing = GreedyTreePacking(graph)
+        packing.grow_to(count)
+        assert sum(packing.usage.values()) == count * (graph.number_of_nodes - 1)
+
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(max_nodes=10))
+    def test_mst_weight_agreement(self, graph):
+        k = minimum_spanning_tree(graph)
+        p = minimum_spanning_tree_prim(graph)
+        assert abs(tree_weight(graph, k) - tree_weight(graph, p)) < 1e-9
+
+    @DEFAULT_SETTINGS
+    @given(connected_graphs(max_nodes=10))
+    def test_mst_weight_minimal_vs_random_trees(self, graph):
+        from repro.graphs import random_spanning_tree
+
+        mst = minimum_spanning_tree(graph)
+        for seed in range(3):
+            other = random_spanning_tree(graph, seed=seed)
+            assert (
+                tree_weight(graph, mst) <= tree_weight(graph, other) + 1e-9
+            )
+
+
+class TestDistributedProperties:
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(connected_graphs(max_nodes=12))
+    def test_distributed_one_respect_agrees(self, graph):
+        from repro.core import one_respecting_min_cut_congest
+        from repro.graphs import random_spanning_tree
+
+        tree = random_spanning_tree(graph, seed=13)
+        ref = one_respecting_min_cut_reference(graph, tree)
+        dist = one_respecting_min_cut_congest(graph, tree)
+        assert abs(dist.best_value - ref.best_value) < 1e-6
+        for v, value in ref.cut_values.items():
+            assert abs(dist.cut_values[v] - value) < 1e-6
+
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rooted_trees(max_nodes=20), st.integers(0, 10**6))
+    def test_keyed_sum_matches_subtree_sums(self, tree, salt):
+        from repro.primitives import PipelinedKeyedSum, SPANNING_TREE, load_tree_into_memory
+
+        net = CongestNetwork(tree.to_graph())
+        load_tree_into_memory(net, tree, SPANNING_TREE)
+        net.run_phase(
+            "ks",
+            lambda u: PipelinedKeyedSum(
+                SPANNING_TREE,
+                lambda ctx: [((ctx.node * 7 + salt) % 5, 1)],
+                out_key="k",
+            ),
+        )
+        root_map = net.memory[tree.root].get("k:root", {})
+        expected: dict = {}
+        for u in tree.nodes:
+            key = (u * 7 + salt) % 5
+            expected[key] = expected.get(key, 0) + 1
+        assert root_map == expected

@@ -1,0 +1,128 @@
+"""Property-based tests for the extension subsystems: max-flow,
+Gomory–Hu, 2-respecting cuts, certified bounds, and CONGEST traffic."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    gomory_hu_tree,
+    max_flow_min_cut,
+    minimum_st_cut_value,
+    stoer_wagner_min_cut,
+)
+from repro.core import (
+    one_respecting_min_cut_reference,
+    two_respecting_min_cut_reference,
+)
+from repro.graphs import WeightedGraph, random_spanning_tree
+from repro.packing import certified_cut_bounds, crossing_count
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = WeightedGraph()
+    graph.add_node(0)
+    for child in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=child - 1))
+        graph.add_edge(child, parent, float(draw(st.integers(1, 5))))
+    for _ in range(draw(st.integers(0, 2 * n))):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, float(draw(st.integers(1, 5))))
+    return graph
+
+
+class TestFlowProperties:
+    @SETTINGS
+    @given(connected_graphs(), st.data())
+    def test_flow_symmetric_and_bounded(self, graph, data):
+        nodes = graph.nodes
+        s = data.draw(st.sampled_from(nodes))
+        t = data.draw(st.sampled_from([u for u in nodes if u != s]))
+        forward = minimum_st_cut_value(graph, s, t)
+        backward = minimum_st_cut_value(graph, t, s)
+        assert abs(forward - backward) < 1e-9
+        assert forward <= min(
+            graph.weighted_degree(s), graph.weighted_degree(t)
+        ) + 1e-9
+
+    @SETTINGS
+    @given(connected_graphs(), st.data())
+    def test_cut_witness_separates_and_realises_value(self, graph, data):
+        nodes = graph.nodes
+        s = data.draw(st.sampled_from(nodes))
+        t = data.draw(st.sampled_from([u for u in nodes if u != s]))
+        result = max_flow_min_cut(graph, s, t)
+        assert s in result.source_side
+        assert t not in result.source_side
+        assert abs(graph.cut_value(result.source_side) - result.value) < 1e-6
+
+    @SETTINGS
+    @given(connected_graphs())
+    def test_global_min_is_min_over_st_cuts_from_anchor(self, graph):
+        anchor = graph.nodes[0]
+        best_st = min(
+            minimum_st_cut_value(graph, anchor, t)
+            for t in graph.nodes
+            if t != anchor
+        )
+        assert abs(best_st - stoer_wagner_min_cut(graph).value) < 1e-6
+
+
+class TestGomoryHuProperties:
+    @SETTINGS
+    @given(connected_graphs(max_nodes=8), st.data())
+    def test_tree_answers_match_flow(self, graph, data):
+        tree = gomory_hu_tree(graph)
+        nodes = graph.nodes
+        s = data.draw(st.sampled_from(nodes))
+        t = data.draw(st.sampled_from([u for u in nodes if u != s]))
+        assert abs(
+            tree.min_cut_value(s, t) - minimum_st_cut_value(graph, s, t)
+        ) < 1e-6
+
+    @SETTINGS
+    @given(connected_graphs(max_nodes=8))
+    def test_lightest_edge_is_global_min(self, graph):
+        tree = gomory_hu_tree(graph)
+        _c, _p, weight = tree.lightest_edge()
+        assert abs(weight - stoer_wagner_min_cut(graph).value) < 1e-6
+
+
+class TestTwoRespectProperties:
+    @SETTINGS
+    @given(connected_graphs(max_nodes=9), st.integers(0, 99))
+    def test_sandwiched_between_one_respect_and_lambda(self, graph, seed):
+        tree = random_spanning_tree(graph, seed=seed)
+        one = one_respecting_min_cut_reference(graph, tree).best_value
+        two = two_respecting_min_cut_reference(graph, tree)
+        lam = stoer_wagner_min_cut(graph).value
+        assert lam - 1e-6 <= two.best_value <= one + 1e-6
+
+    @SETTINGS
+    @given(connected_graphs(max_nodes=9), st.integers(0, 99))
+    def test_witness_consistency(self, graph, seed):
+        tree = random_spanning_tree(graph, seed=seed)
+        result = two_respecting_min_cut_reference(graph, tree)
+        assert abs(graph.cut_value(result.side) - result.best_value) < 1e-6
+        assert crossing_count(tree, result.side) <= 2
+
+
+class TestCertifiedBoundsProperty:
+    @SETTINGS
+    @given(connected_graphs(max_nodes=10))
+    def test_interval_always_contains_lambda(self, graph):
+        bounds = certified_cut_bounds(graph, max_trees=8)
+        lam = stoer_wagner_min_cut(graph).value
+        assert bounds.lower - 1e-6 <= lam <= bounds.upper + 1e-6
+        assert abs(graph.cut_value(bounds.upper_witness) - bounds.upper) < 1e-6

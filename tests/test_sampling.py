@@ -1,0 +1,102 @@
+"""Karger skeleton sampling tests (determinism, concentration, edge cases)."""
+
+import random
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graphs import WeightedGraph, complete_graph, planted_cut_graph
+from repro.sampling import (
+    sample_skeleton,
+    sampling_probability,
+    skeleton_cut_estimate,
+)
+
+
+class TestProbability:
+    def test_decreases_with_lambda(self):
+        p_small = sampling_probability(100, 0.5, 80.0)
+        p_large = sampling_probability(100, 0.5, 800.0)
+        assert p_large < p_small < 1.0
+
+    def test_decreases_with_epsilon(self):
+        loose = sampling_probability(100, 1.0, 500.0)
+        tight = sampling_probability(100, 0.5, 500.0)
+        assert loose < tight < 1.0
+
+    def test_capped_at_one(self):
+        assert sampling_probability(100, 0.1, 1.0) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AlgorithmError):
+            sampling_probability(10, 0.0, 5.0)
+        with pytest.raises(AlgorithmError):
+            sampling_probability(10, 0.5, 0.0)
+
+
+class TestSampling:
+    def test_probability_one_keeps_everything(self):
+        g = complete_graph(8)
+        skeleton = sample_skeleton(g, 1.0, seed=0)
+        assert skeleton.edge_list() == g.edge_list()
+
+    def test_probability_zero_keeps_nodes_only(self):
+        g = complete_graph(6)
+        skeleton = sample_skeleton(g, 0.0, seed=0)
+        assert skeleton.number_of_edges == 0
+        assert skeleton.number_of_nodes == 6
+
+    def test_deterministic_per_seed(self):
+        g = complete_graph(10)
+        a = sample_skeleton(g, 0.4, seed=3)
+        b = sample_skeleton(g, 0.4, seed=3)
+        c = sample_skeleton(g, 0.4, seed=4)
+        assert a.edge_list() == b.edge_list()
+        assert a.edge_list() != c.edge_list()
+
+    def test_integer_weights_become_binomials(self):
+        g = WeightedGraph([(0, 1, 50.0)])
+        skeleton = sample_skeleton(g, 0.5, seed=1)
+        kept = skeleton.weight(0, 1) if skeleton.has_edge(0, 1) else 0.0
+        assert 10 <= kept <= 40  # Binomial(50, .5) tail bound, generous
+
+    def test_non_integer_weight_rejected(self):
+        g = WeightedGraph([(0, 1, 1.5)])
+        with pytest.raises(AlgorithmError):
+            sample_skeleton(g, 0.5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(AlgorithmError):
+            sample_skeleton(complete_graph(3), 1.5)
+
+    def test_shared_rng_advances(self):
+        g = complete_graph(8)
+        rng = random.Random(0)
+        a = sample_skeleton(g, 0.4, rng=rng)
+        b = sample_skeleton(g, 0.4, rng=rng)
+        assert a.edge_list() != b.edge_list()
+
+
+class TestConcentration:
+    def test_cut_values_concentrate(self):
+        """Statistical reproduction of Karger's lemma: at the prescribed
+        rate, the planted cut's sampled value rescales to within ~±ε."""
+        g = planted_cut_graph((40, 40), 60, seed=5, intra_p=0.9)
+        true_cut = 60.0
+        epsilon = 0.8
+        p = sampling_probability(g.number_of_nodes, epsilon, true_cut)
+        assert p < 1.0  # the sampling branch must actually engage
+        side = set(range(40))
+        within = 0
+        trials = 12
+        for seed in range(trials):
+            skeleton = sample_skeleton(g, p, seed=seed)
+            estimate = skeleton_cut_estimate(skeleton.cut_value(side), p)
+            if abs(estimate - true_cut) <= 1.2 * epsilon * true_cut:
+                within += 1
+        assert within >= trials - 1
+
+    def test_estimate_rescaling(self):
+        assert skeleton_cut_estimate(6.0, 0.5) == 12.0
+        with pytest.raises(AlgorithmError):
+            skeleton_cut_estimate(6.0, 0.0)
