@@ -2,23 +2,25 @@
 """Compare the paper's (1+ε) algorithm against the (2+ε) baseline.
 
 Reproduces the paper's Section 1 comparison as an experiment: on graphs
-with known minimum cuts, measure the realised approximation ratio of
+with known minimum cuts, run every registered *approximate* solver
+through :func:`repro.api.solve_all` and measure realised approximation
+ratios of
 
 * this paper (Karger sampling + exact tree-packing solve),
 * Ghaffari–Kuhn's guarantee class via the Matula (2+ε) analog,
 * Su's concurrent sampling + bridge approach.
 
+The solver set comes from the registry — registering a new approximate
+solver adds a column here with no further changes.
+
 Run:  python examples/approximation_showdown.py
 """
 
 from repro.analysis import format_table
-from repro.baselines import (
-    matula_approx_min_cut,
-    stoer_wagner_min_cut,
-    su_approx_min_cut,
-)
+from repro.api import solve, solve_all
 from repro.graphs import complete_graph, connected_gnp_graph, planted_cut_graph
-from repro.mincut import minimum_cut_approx
+
+SOLVER_ORDER = ["approx", "matula", "su"]
 
 
 def main() -> None:
@@ -29,25 +31,44 @@ def main() -> None:
         ("complete K60", complete_graph(60)),
     ]
     epsilon = 0.5
-    rows = []
+    # Two passes so column set = union of solvers over all instances
+    # (capability filters may exclude a solver on some instances).
+    measured = []
     for name, graph in instances:
-        truth = stoer_wagner_min_cut(graph).value
-        ours = minimum_cut_approx(graph, epsilon=epsilon, seed=7)
-        matula = matula_approx_min_cut(graph, epsilon=epsilon)
-        su = su_approx_min_cut(graph, seed=7)
+        truth = solve(graph, solver="stoer_wagner").value
+        results = {
+            r.solver: r for r in solve_all(graph, epsilon=epsilon, seed=7,
+                                           kinds=("approx",))
+        }
+        measured.append((name, truth, results))
+    seen = {n for _, _, results in measured for n in results}
+    ordered = [n for n in SOLVER_ORDER if n in seen]
+    ordered += sorted(seen - set(ordered))
+    guarantee = {
+        n: results[n].guarantee for _, _, results in measured for n in results
+    }
+    headers = (
+        ["instance", "λ"]
+        + [f"{n} ({guarantee[n]})" for n in ordered]
+        + ["our path"]
+    )
+    rows = []
+    for name, truth, results in measured:
+        ours = results.get("approx")
+        path = "-"
+        if ours is not None:
+            path = "sampling" if ours.extras["used_sampling"] else "exact"
         rows.append(
-            [
-                name,
-                truth,
-                round(ours.value / truth, 3),
-                round(matula.value / truth, 3),
-                round(su.value / truth, 3),
-                "sampling" if ours.used_sampling else "exact",
+            [name, truth]
+            + [
+                round(results[n].value / truth, 3) if n in results else "-"
+                for n in ordered
             ]
+            + [path]
         )
     print(
         format_table(
-            ["instance", "λ", "ours (1+ε)", "Matula (2+ε)", "Su (1+ε)", "our path"],
+            headers,
             rows,
             title=f"Approximation ratios at ε = {epsilon} "
             f"(guarantees: ours ≤ {1 + epsilon}, Matula ≤ {2 + epsilon})",

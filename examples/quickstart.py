@@ -1,19 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: find a minimum cut three ways.
+"""Quickstart: find a minimum cut three ways through the unified API.
 
 Builds a planted-cut graph (two dense communities joined by exactly 3
-edges), then computes the minimum cut with
+edges), then computes the minimum cut with :func:`repro.api.solve`:
 
-1. the paper's exact algorithm (Thorup packing + 1-respecting cuts),
+1. ``solver="auto"`` — the paper's exact algorithm (Thorup packing +
+   1-respecting cuts) wins the capability-based selection,
 2. the paper's (1+ε)-approximation (Karger sampling + exact),
 3. the Stoer–Wagner ground truth,
 
-and prints the agreement.  Run:  python examples/quickstart.py
+and prints the agreement.  Every call returns the same canonical
+``CutResult``, whose ``verify(graph)`` recomputes the witness's cut
+value straight from the graph.  Run:  python examples/quickstart.py
 """
 
-from repro.baselines import stoer_wagner_min_cut
+from repro.api import solve
 from repro.graphs import planted_cut_graph, planted_cut_sides
-from repro.mincut import minimum_cut_approx, minimum_cut_exact
 
 
 def main() -> None:
@@ -24,21 +26,29 @@ def main() -> None:
         f"planted min cut = 3 (side = first {sides[0]} nodes)"
     )
 
-    truth = stoer_wagner_min_cut(graph)
+    truth = solve(graph, solver="stoer_wagner")
     print(f"Stoer-Wagner ground truth : {truth.value:g}")
 
-    exact = minimum_cut_exact(graph)
+    exact = solve(graph)  # auto-selected: the paper's exact algorithm
     print(
         f"paper exact (tree packing): {exact.value:g}   "
-        f"(found by packing tree #{exact.tree_index} of {exact.trees_used})"
+        f"(solver={exact.solver!r}, found by packing tree "
+        f"#{exact.extras['tree_index']} of {exact.extras['trees_used']})"
     )
 
-    approx = minimum_cut_approx(graph, epsilon=0.5, seed=1)
-    mode = "sampled skeleton" if approx.used_sampling else "exact path (small lambda)"
+    approx = solve(graph, solver="approx", epsilon=0.5, seed=1)
+    mode = (
+        "sampled skeleton" if approx.extras["used_sampling"]
+        else "exact path (small lambda)"
+    )
     print(f"paper (1+eps), eps=0.5    : {approx.value:g}   via {mode}")
 
     assert exact.value == truth.value
     assert approx.value <= 1.5 * truth.value
+    # Every CutResult can be re-verified against the graph it came from.
+    assert exact.verify(graph) == exact.value
+    assert approx.matches(graph)
+
     recovered = exact.side if len(exact.side) <= sides[1] else set(graph.nodes) - exact.side
     planted = planted_cut_sides(sides)
     print(

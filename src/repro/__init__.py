@@ -2,6 +2,10 @@
 
 Public API highlights
 ---------------------
+* :func:`repro.solve` / :func:`repro.solve_all` /
+  :func:`repro.solve_batch` — the unified façade over every registered
+  min-cut solver, returning canonical :class:`repro.CutResult` objects
+  (see :mod:`repro.api`).
 * :class:`repro.graphs.WeightedGraph`, :class:`repro.graphs.RootedTree`
   and the generator families.
 * :class:`repro.congest.CongestNetwork` — the CONGEST simulator.
@@ -12,6 +16,16 @@ Public API highlights
   brute force, bridges, Nagamochi–Ibaraki.
 """
 
+from .api import (
+    CutResult,
+    SolverRegistry,
+    SolverSpec,
+    default_registry,
+    register_solver,
+    solve,
+    solve_all,
+    solve_batch,
+)
 from .errors import (
     AlgorithmError,
     BandwidthExceededError,
@@ -39,5 +53,13 @@ __all__ = [
     "TreeError",
     "RootedTree",
     "WeightedGraph",
+    "CutResult",
+    "SolverRegistry",
+    "SolverSpec",
+    "default_registry",
+    "register_solver",
+    "solve",
+    "solve_all",
+    "solve_batch",
     "__version__",
 ]

@@ -1,14 +1,16 @@
 """Measurement analysis helpers (system S12 of DESIGN.md)."""
 
-from .report import build_report, write_report
+from .report import build_report, solver_comparison_section, write_report
 from .rounds import PowerLawFit, fit_power_law, normalized_rounds
-from .tables import format_table
+from .tables import format_cut_results, format_table
 
 __all__ = [
     "build_report",
+    "solver_comparison_section",
     "write_report",
     "PowerLawFit",
     "fit_power_law",
     "normalized_rounds",
+    "format_cut_results",
     "format_table",
 ]

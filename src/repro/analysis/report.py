@@ -79,3 +79,19 @@ def write_report(results_dir: Union[str, Path], output: Union[str, Path]) -> Pat
     path = Path(output)
     path.write_text(build_report(results_dir), encoding="utf-8")
     return path
+
+
+def solver_comparison_section(
+    instance: str, results, *, truth=None, registry=None
+) -> str:
+    """A markdown report section for façade results on one instance.
+
+    ``results`` is a sequence of :class:`repro.api.CutResult` (e.g. from
+    :func:`repro.api.solve_all`); the rendered table can be written into
+    ``benchmarks/results/`` and picked up by :func:`build_report` like
+    any other experiment output.
+    """
+    from .tables import format_cut_results
+
+    table = format_cut_results(results, truth=truth, registry=registry)
+    return f"## Solver comparison — {instance}\n\n```\n{table}\n```\n"

@@ -28,6 +28,27 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
     return "\n".join(lines)
 
 
+def format_cut_results(results, *, truth=None, registry=None, title="") -> str:
+    """Render a sequence of :class:`repro.api.CutResult` as a table.
+
+    ``truth`` (a known λ, e.g. from the registry's ground-truth solver)
+    adds a ratio column; ``registry`` (a
+    :class:`repro.api.SolverRegistry`) resolves solver names to their
+    display labels and kinds, with the ground-truth solver marked.
+    """
+    headers = ["algorithm", "kind", "cut value", "ratio", "time (s)"]
+    rows = []
+    for result in results:
+        label, kind = result.solver or "<unnamed>", ""
+        if registry is not None and result.solver in registry:
+            spec = registry.get(result.solver)
+            label = spec.display + (" (ground truth)" if spec.ground_truth else "")
+            kind = spec.kind
+        ratio = round(result.value / truth, 4) if truth else "-"
+        rows.append([label, kind, result.value, ratio, f"{result.wall_time:.4f}"])
+    return format_table(headers, rows, title=title)
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         if cell == int(cell) and abs(cell) < 1e15:

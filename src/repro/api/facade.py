@@ -1,0 +1,191 @@
+"""The programmatic façade: ``solve`` / ``solve_all`` / ``solve_batch``.
+
+One stable entry point over every registered min-cut solver::
+
+    from repro.api import solve
+
+    result = solve(graph)                       # auto-picked exact solver
+    result = solve(graph, solver="stoer_wagner")
+    result = solve(graph, epsilon=0.25)         # auto-picked (1+eps) solver
+    result = solve(graph, solver="exact", mode="congest")
+
+Every call returns a canonical :class:`~repro.api.result.CutResult`
+stamped with the solver name, guarantee class, seed and wall time, so
+downstream consumers (CLI, comparison tables, benchmarks, future
+service layers) never touch per-algorithm result types.
+
+``solve_all`` runs every applicable solver on one graph (the compare
+workload); ``solve_batch`` maps ``solve`` over many graphs (the sweep
+workload — the planned async/parallel backends slot in here without
+changing the signature).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import AlgorithmError
+from ..graphs.graph import WeightedGraph
+from .registry import SolverRegistry, SolverSpec, default_registry
+from .result import CutResult
+
+
+def solve(
+    graph: WeightedGraph,
+    solver: str = "auto",
+    *,
+    epsilon: Optional[float] = None,
+    mode: str = "reference",
+    seed: int = 0,
+    budget: Optional[int] = None,
+    registry: Optional[SolverRegistry] = None,
+    **options: Any,
+) -> CutResult:
+    """Compute a minimum cut of ``graph`` with one registered solver.
+
+    Parameters
+    ----------
+    solver:
+        A registry name (see ``python -m repro solvers``) or ``"auto"``:
+        with ``epsilon`` unset the strongest applicable *exact* solver is
+        chosen; with ``epsilon`` set the strongest applicable *approx*
+        solver (capability filters remove solvers that cannot run on the
+        instance — e.g. integer-weight samplers on fractional graphs, or
+        brute force beyond its node limit).
+    epsilon:
+        Approximation parameter forwarded to approximate solvers
+        (default 0.5 when such a solver runs without one).
+    mode:
+        ``"reference"`` (centralized) or ``"congest"`` (simulated
+        CONGEST execution with round accounting, for solvers that
+        support it).
+    seed / budget:
+        Determinism knob and effort cap (packing trees, contraction
+        repetitions, sampling rate steps — per-solver meaning is listed
+        in the registry summary).
+    options:
+        Extra keyword arguments forwarded verbatim to the solver adapter
+        (e.g. ``tree_count=...`` for the packing solvers).
+    """
+    registry = registry if registry is not None else default_registry()
+    graph.require_connected()
+    if solver == "auto":
+        spec = registry.select_auto(graph, mode=mode, epsilon=epsilon)
+    else:
+        spec = registry.get(solver)
+        reason = spec.inapplicable_reason(graph, mode=mode, epsilon=epsilon)
+        if reason is not None:
+            raise AlgorithmError(reason)
+    return _run(spec, graph, epsilon=epsilon, mode=mode, seed=seed,
+                budget=budget, **options)
+
+
+def solve_all(
+    graph: WeightedGraph,
+    *,
+    epsilon: Optional[float] = None,
+    mode: str = "reference",
+    seed: int = 0,
+    budget: Optional[int] = None,
+    kinds: Optional[Sequence[str]] = None,
+    names: Optional[Sequence[str]] = None,
+    include_heavy: bool = False,
+    registry: Optional[SolverRegistry] = None,
+) -> list[CutResult]:
+    """Run every applicable registered solver on ``graph``.
+
+    Solvers are filtered by capability (node limits, congest support,
+    integer weights), by ``kinds``/``names`` when given, and — unless
+    ``include_heavy`` — by the ``heavy`` flag (full CONGEST pipelines).
+    Results come back in registration order.
+
+    ``names`` is an explicit selection: unknown names raise
+    :class:`~repro.errors.AlgorithmError` and the ``heavy`` filter is
+    bypassed (you asked for them by name); capability filters still
+    apply, so compare the returned solvers against your request to see
+    what was skipped as inapplicable.
+    """
+    registry = registry if registry is not None else default_registry()
+    graph.require_connected()
+    kind_filter = tuple(kinds) if kinds is not None else None
+    if names is not None:
+        requested = {name: registry.get(name) for name in names}  # validates
+        specs = [
+            spec
+            for spec in registry
+            if spec.name in requested
+            and (kind_filter is None or spec.kind in kind_filter)
+            and spec.applicable(graph, mode=mode, epsilon=epsilon)
+        ]
+    else:
+        specs = registry.applicable(
+            graph, mode=mode, epsilon=epsilon, kinds=kind_filter,
+            include_heavy=include_heavy,
+        )
+    return [
+        _run(spec, graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget)
+        for spec in specs
+    ]
+
+
+def solve_batch(
+    graphs: Iterable[WeightedGraph],
+    solver: str = "auto",
+    *,
+    epsilon: Optional[float] = None,
+    mode: str = "reference",
+    seed: int = 0,
+    budget: Optional[int] = None,
+    registry: Optional[SolverRegistry] = None,
+    **options: Any,
+) -> list[CutResult]:
+    """``solve`` mapped over many graphs (one result per graph, in order).
+
+    Each graph gets seed ``seed + index`` so batch runs are deterministic
+    yet not correlated across instances.  This is the single choke point
+    the ROADMAP's async/parallel backends will parallelize.
+    """
+    return [
+        solve(
+            graph,
+            solver,
+            epsilon=epsilon,
+            mode=mode,
+            seed=seed + index,
+            budget=budget,
+            registry=registry,
+            **options,
+        )
+        for index, graph in enumerate(graphs)
+    ]
+
+
+def _run(
+    spec: SolverSpec,
+    graph: WeightedGraph,
+    *,
+    epsilon: Optional[float],
+    mode: str,
+    seed: int,
+    budget: Optional[int],
+    **options: Any,
+) -> CutResult:
+    started = time.perf_counter()
+    raw = spec.run(
+        graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget, **options
+    )
+    elapsed = time.perf_counter() - started
+    return CutResult(
+        value=raw.value,
+        side=frozenset(raw.side),
+        solver=spec.name,
+        guarantee=spec.guarantee,
+        seed=seed,
+        metrics=raw.metrics,
+        wall_time=elapsed,
+        extras=dict(raw.extras),
+    )
+
+
+__all__ = ["solve", "solve_all", "solve_batch"]

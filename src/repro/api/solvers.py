@@ -1,0 +1,347 @@
+"""Built-in solver adapters — every min-cut entry point behind one signature.
+
+Importing this module registers the paper's algorithms and all
+baselines into :data:`repro.api.registry.DEFAULT_REGISTRY`.  Each
+adapter has the uniform signature
+
+    adapter(graph, *, epsilon=None, mode="reference", seed=0,
+            budget=None, **options) -> CutResult
+
+and maps those knobs onto the underlying algorithm: ``budget`` becomes
+the tree cap for the packing solvers, the repetition count for the
+contraction solvers and the rate-sweep length for Su.  Extra keyword
+``options`` are forwarded to solvers that take them (``exact``'s
+``tree_count``, ``su``'s ``trials_per_rate``); solvers without extra
+knobs reject unknown options instead of silently dropping them.
+Provenance fields (``solver``, ``guarantee``, ``seed``, ``wall_time``)
+are stamped by the façade, not here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..baselines.bridges import bridge_component, find_bridges
+from ..baselines.brute_force import MAX_BRUTE_FORCE_NODES, brute_force_min_cut
+from ..baselines.contraction import karger_min_cut, karger_stein_min_cut
+from ..baselines.gomory_hu import gomory_hu_min_cut
+from ..baselines.matula import matula_approx_min_cut
+from ..baselines.nagamochi_ibaraki import sparse_certificate
+from ..baselines.stoer_wagner import stoer_wagner_min_cut
+from ..baselines.su_sampling import su_approx_min_cut
+from ..errors import AlgorithmError
+from ..graphs.properties import min_weighted_degree
+from ..mincut.approx import minimum_cut_approx
+from ..mincut.exact import minimum_cut_exact
+from ..mincut.exact_distributed import minimum_cut_exact_congest_full
+from .registry import register_solver
+from .result import CutResult
+
+DEFAULT_EPSILON = 0.5
+
+
+def _eps(epsilon: Optional[float]) -> float:
+    return DEFAULT_EPSILON if epsilon is None else epsilon
+
+
+# ----------------------------------------------------------------------
+# The paper's algorithms
+# ----------------------------------------------------------------------
+
+
+@register_solver(
+    "exact",
+    kind="exact",
+    guarantee="exact",
+    display="this paper, exact",
+    implementation=minimum_cut_exact,
+    summary="Thorup tree packing + per-tree 1-respecting cuts (Theorem 2.1)",
+    supports_congest=True,
+    priority=100,
+)
+def _solve_exact(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
+                 tree_count=None, **options):
+    result = minimum_cut_exact(
+        graph, mode=mode, tree_count=tree_count, max_trees=budget, **options
+    )
+    return _packing_result(result)
+
+
+@register_solver(
+    "exact_congest_full",
+    kind="exact",
+    guarantee="exact",
+    display="this paper, fully distributed",
+    implementation=minimum_cut_exact_congest_full,
+    summary="all-measured pipeline: Boruvka packing + Theorem 2.1, no charged rounds",
+    supports_congest=True,
+    heavy=True,
+    priority=60,
+)
+def _solve_exact_congest_full(graph, *, epsilon=None, mode="reference", seed=0,
+                              budget=None, tree_count=None, **options):
+    if budget is not None:
+        options.setdefault("max_trees", budget)
+    result = minimum_cut_exact_congest_full(graph, tree_count=tree_count, **options)
+    return _packing_result(result)
+
+
+@register_solver(
+    "approx",
+    kind="approx",
+    guarantee="1+eps",
+    display="this paper, (1+eps)",
+    implementation=minimum_cut_approx,
+    summary="Karger skeleton sampling + exact solve of the skeleton",
+    supports_congest=True,
+    requires_integer_weights=True,
+    randomized=True,
+    max_epsilon=1.0,
+    priority=100,
+)
+def _solve_approx(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
+                  **options):
+    _reject_options("approx", options)
+    result = minimum_cut_approx(graph, epsilon=_eps(epsilon), seed=seed, mode=mode)
+    return CutResult(
+        value=result.value,
+        side=result.side,
+        metrics=result.metrics,
+        extras={
+            "probability": result.probability,
+            "skeleton_value": result.skeleton_value,
+            "halvings": result.halvings,
+            "used_sampling": result.used_sampling,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Exact baselines
+# ----------------------------------------------------------------------
+
+
+@register_solver(
+    "stoer_wagner",
+    kind="exact",
+    guarantee="exact",
+    display="Stoer-Wagner",
+    implementation=stoer_wagner_min_cut,
+    summary="n-1 maximum-adjacency phases; the ground-truth oracle",
+    ground_truth=True,
+    priority=90,
+)
+def _solve_stoer_wagner(graph, *, epsilon=None, mode="reference", seed=0,
+                        budget=None, **options):
+    _reject_options("stoer_wagner", options)
+    return CutResult(**_value_side(stoer_wagner_min_cut(graph)))
+
+
+@register_solver(
+    "brute_force",
+    kind="exact",
+    guarantee="exact",
+    display="brute force",
+    implementation=brute_force_min_cut,
+    summary=f"enumerate every cut (n <= {MAX_BRUTE_FORCE_NODES})",
+    max_nodes=MAX_BRUTE_FORCE_NODES,
+    priority=10,
+)
+def _solve_brute_force(graph, *, epsilon=None, mode="reference", seed=0,
+                       budget=None, **options):
+    _reject_options("brute_force", options)
+    return CutResult(**_value_side(brute_force_min_cut(graph)))
+
+
+@register_solver(
+    "nagamochi_ibaraki",
+    kind="exact",
+    guarantee="exact",
+    display="Nagamochi-Ibaraki + SW",
+    implementation=sparse_certificate,
+    summary="sparse k-certificate (k = min degree + 1), then Stoer-Wagner on it",
+    priority=50,
+)
+def _solve_nagamochi_ibaraki(graph, *, epsilon=None, mode="reference", seed=0,
+                             budget=None, **options):
+    _reject_options("nagamochi_ibaraki", options)
+    # λ ≤ min weighted degree < k, so the certificate preserves every
+    # cut of value below k exactly and its minimum cut is a minimum cut
+    # of the original graph.
+    k = min_weighted_degree(graph) + 1.0
+    certificate = sparse_certificate(graph, k)
+    witness = stoer_wagner_min_cut(certificate)
+    value = graph.cut_value(witness.side)
+    return CutResult(
+        value=value,
+        side=witness.side,
+        extras={
+            "certificate_k": k,
+            "certificate_edges": certificate.number_of_edges,
+            "original_edges": graph.number_of_edges,
+        },
+    )
+
+
+@register_solver(
+    "gomory_hu",
+    kind="exact",
+    guarantee="exact",
+    display="Gomory-Hu tree",
+    implementation=gomory_hu_min_cut,
+    summary="cut tree from n-1 max flows; lightest tree edge is the min cut",
+    priority=40,
+)
+def _solve_gomory_hu(graph, *, epsilon=None, mode="reference", seed=0,
+                     budget=None, **options):
+    _reject_options("gomory_hu", options)
+    return CutResult(**_value_side(gomory_hu_min_cut(graph)))
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo baselines
+# ----------------------------------------------------------------------
+
+
+@register_solver(
+    "karger",
+    kind="exact",
+    guarantee="exact (whp)",
+    display="Karger contraction",
+    implementation=karger_min_cut,
+    summary="random contraction; budget = repetitions (default capped for speed)",
+    randomized=True,
+    priority=20,
+)
+def _solve_karger(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
+                  **options):
+    _reject_options("karger", options)
+    n = graph.number_of_nodes
+    # The theoretical O(n^2 log n) repetition default is far too slow for
+    # interactive use; cap it and let ``budget`` override.
+    repetitions = budget if budget is not None else max(32, min(256, 4 * n))
+    result = karger_min_cut(graph, repetitions=repetitions, seed=seed)
+    return CutResult(
+        **_value_side(result), extras={"repetitions": repetitions}
+    )
+
+
+@register_solver(
+    "karger_stein",
+    kind="exact",
+    guarantee="exact (whp)",
+    display="Karger-Stein",
+    implementation=karger_stein_min_cut,
+    summary="recursive contraction; budget = repetitions",
+    randomized=True,
+    priority=30,
+)
+def _solve_karger_stein(graph, *, epsilon=None, mode="reference", seed=0,
+                        budget=None, **options):
+    _reject_options("karger_stein", options)
+    n = graph.number_of_nodes
+    repetitions = (
+        budget
+        if budget is not None
+        else max(1, int(math.ceil(math.log2(max(2, n)) ** 2)))
+    )
+    result = karger_stein_min_cut(graph, repetitions=repetitions, seed=seed)
+    return CutResult(**_value_side(result), extras={"repetitions": repetitions})
+
+
+# ----------------------------------------------------------------------
+# Approximate / bound baselines
+# ----------------------------------------------------------------------
+
+
+@register_solver(
+    "matula",
+    kind="approx",
+    guarantee="2+eps",
+    display="Matula (2+eps) [GK13 analog]",
+    implementation=matula_approx_min_cut,
+    summary="NI-certificate contraction; centralized Ghaffari-Kuhn analog",
+    priority=50,
+)
+def _solve_matula(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
+                  **options):
+    _reject_options("matula", options)
+    return CutResult(**_value_side(matula_approx_min_cut(graph, epsilon=_eps(epsilon))))
+
+
+@register_solver(
+    "su",
+    kind="approx",
+    guarantee="1+eps (whp)",
+    display="Su (sampling+bridges)",
+    implementation=su_approx_min_cut,
+    summary="sampling + bridge finding (SPAA 2014 concurrent result); budget = rate steps",
+    requires_integer_weights=True,
+    randomized=True,
+    priority=30,
+)
+def _solve_su(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
+              **options):
+    if budget is not None:
+        options.setdefault("rate_steps", budget)
+    return CutResult(**_value_side(su_approx_min_cut(graph, seed=seed, **options)))
+
+
+@register_solver(
+    "bridges",
+    kind="bound",
+    guarantee="upper bound",
+    display="bridges (upper bound)",
+    implementation=find_bridges,
+    summary="best bridge cut if any, else lightest singleton — a certified upper bound",
+    priority=0,
+)
+def _solve_bridges(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
+                   **options):
+    _reject_options("bridges", options)
+    node = min(graph.nodes, key=lambda u: (graph.weighted_degree(u), repr(u)))
+    best_value = graph.weighted_degree(node)
+    best_side = frozenset({node})
+    bridge_count = 0
+    for bridge in find_bridges(graph):
+        bridge_count += 1
+        side = frozenset(bridge_component(graph, bridge))
+        value = graph.cut_value(side)
+        if value < best_value:
+            best_value, best_side = value, side
+    return CutResult(
+        value=best_value, side=best_side, extras={"bridges_found": bridge_count}
+    )
+
+
+def _value_side(result) -> dict:
+    """Pull the canonical (value, side) pair out of a legacy result."""
+    return {"value": result.value, "side": result.side}
+
+
+def _packing_result(result) -> CutResult:
+    """Canonical CutResult for the two tree-packing pipelines."""
+    return CutResult(
+        value=result.value,
+        side=result.side,
+        metrics=result.metrics,
+        extras={
+            "tree_index": result.tree_index,
+            "trees_used": result.trees_used,
+            "per_tree_values": result.per_tree_values,
+        },
+    )
+
+
+def _reject_options(name: str, options: dict) -> None:
+    """Solvers without extra knobs fail fast on unknown options, so a
+    typo'd or inapplicable keyword is never silently dropped."""
+    if options:
+        raise AlgorithmError(
+            f"solver {name!r} does not accept extra options: "
+            f"{', '.join(sorted(options))}"
+        )
+
+
+__all__ = ["DEFAULT_EPSILON"]

@@ -5,6 +5,11 @@ Karger contraction and Karger–Stein (Monte Carlo).  Approximate:
 Matula (2+ε) via Nagamochi–Ibaraki certificates — the centralized analog
 of the paper's Ghaffari–Kuhn comparator — and Su's sampling + bridges
 (1+ε) concurrent result.
+
+Every global min-cut entry point here is also registered with
+:mod:`repro.api`, so ``solve(graph, solver="stoer_wagner")`` (etc.)
+returns the canonical :class:`repro.api.CutResult`.  ``MinCutResult``
+is now a deprecated thin alias of that class.
 """
 
 from .stoer_wagner import MinCutResult, stoer_wagner_min_cut

@@ -13,21 +13,24 @@ cross-validated against this one (and this one against brute force).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 
+from ..api.result import CutResult
 from ..errors import AlgorithmError
 from ..graphs.graph import Node, WeightedGraph
 
 
-@dataclass(frozen=True)
-class MinCutResult:
-    """A cut value together with one witness side."""
+class MinCutResult(CutResult):
+    """Deprecated alias of :class:`repro.api.result.CutResult`.
 
-    value: float
-    side: frozenset
-
-    def other_side(self, graph: WeightedGraph) -> frozenset:
-        return frozenset(set(graph.nodes) - self.side)
+    Historically the baselines carried their own ``(value, side)``
+    dataclass; it is now a thin subclass of the canonical
+    :class:`~repro.api.result.CutResult` so existing imports,
+    ``isinstance`` checks and ``MinCutResult(value=..., side=...)``
+    constructor calls keep working.  New code should import
+    ``CutResult`` from :mod:`repro.api` and use the façade's
+    :func:`repro.api.solve`, which stamps provenance (solver name,
+    guarantee, seed, wall time) onto every result.
+    """
 
 
 def stoer_wagner_min_cut(graph: WeightedGraph) -> MinCutResult:

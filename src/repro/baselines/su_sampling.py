@@ -19,7 +19,6 @@ side.  The best candidate over the sweep is returned.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from ..errors import AlgorithmError
 from ..graphs.graph import WeightedGraph

@@ -2,24 +2,33 @@
 
 Commands
 --------
-``exact``      exact minimum cut of a generated family or an edge-list
-               file (Thorup packing + 1-respecting cuts; optional
-               congest mode with round accounting).
-``approx``     the (1+ε)-approximation via Karger sampling.
+``exact``      exact minimum cut via any registered exact solver
+               (default: the paper's Thorup packing + 1-respecting
+               cuts; optional congest mode with round accounting).
+``approx``     approximate minimum cut via any registered approx solver
+               (default: the paper's (1+ε) Karger-sampling algorithm).
 ``rounds``     measure Theorem 2.1's distributed rounds over a size
                sweep of one family and fit the scaling exponent.
-``compare``    run every algorithm (ours + baselines) on one instance
+``compare``    run every applicable registered solver on one instance
                and print the agreement table.
+``solvers``    list the solver registry with capability metadata.
 ``bounds``     certified λ interval from edge-disjoint tree packings.
+
+All algorithm dispatch goes through :mod:`repro.api` — the commands
+iterate the solver registry instead of hard-coding algorithm lists, so
+a newly registered solver is immediately selectable with ``--solver``
+and shows up in ``compare`` and ``solvers``.
 
 Examples
 --------
 ::
 
     python -m repro exact --family gnp --n 128 --mode congest
-    python -m repro approx --family complete --n 64 --epsilon 0.5
+    python -m repro exact --family grid --n 64 --solver stoer_wagner
+    python -m repro approx --family complete --n 64 --epsilon 0.5 --mode congest
     python -m repro rounds --family grid --sizes 64,144,324
     python -m repro compare --file mygraph.edges
+    python -m repro solvers
 """
 
 from __future__ import annotations
@@ -29,12 +38,8 @@ import math
 import sys
 from typing import Optional
 
-from .analysis import fit_power_law, format_table
-from .baselines import (
-    matula_approx_min_cut,
-    stoer_wagner_min_cut,
-    su_approx_min_cut,
-)
+from .analysis import fit_power_law, format_cut_results, format_table
+from .api import CutResult, default_registry, solve, solve_all
 from .core import one_respecting_min_cut_congest
 from .errors import ReproError
 from .graphs import (
@@ -45,7 +50,6 @@ from .graphs import (
     read_edge_list,
     FAMILY_BUILDERS,
 )
-from .mincut import minimum_cut_approx, minimum_cut_exact
 
 
 def _load_graph(args: argparse.Namespace) -> WeightedGraph:
@@ -71,12 +75,16 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_exact(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    result = minimum_cut_exact(graph, mode=args.mode, tree_count=args.trees)
-    print(f"minimum cut value : {result.value:g}")
-    print(f"witness side size : {len(result.side)} of {graph.number_of_nodes}")
-    print(f"packing trees used: {result.trees_used} (winner: #{result.tree_index})")
+def _add_solver_argument(parser: argparse.ArgumentParser, default: str) -> None:
+    parser.add_argument(
+        "--solver",
+        choices=sorted(default_registry().names()),
+        default=default,
+        help=f"registered solver to run (default: {default})",
+    )
+
+
+def _print_metrics(result: CutResult) -> None:
     if result.metrics is not None:
         summary = result.metrics.summary()
         print(
@@ -85,20 +93,49 @@ def _cmd_exact(args: argparse.Namespace) -> int:
             f"{summary['charged_rounds']} charged), "
             f"{summary['messages']} messages"
         )
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    options = {}
+    if args.trees is not None:
+        options["tree_count"] = args.trees
+    result = solve(
+        graph, solver=args.solver, mode=args.mode, seed=args.seed, **options
+    )
+    print(f"minimum cut value : {result.value:g}")
+    print(f"witness side size : {len(result.side)} of {graph.number_of_nodes}")
+    if "trees_used" in result.extras:
+        print(
+            f"packing trees used: {result.extras['trees_used']} "
+            f"(winner: #{result.extras['tree_index']})"
+        )
+    _print_metrics(result)
     return 0
 
 
 def _cmd_approx(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    result = minimum_cut_approx(graph, epsilon=args.epsilon, seed=args.seed)
-    path = "sampling" if result.used_sampling else "exact (small lambda)"
-    print(f"(1+eps) cut value : {result.value:g}   [eps={args.epsilon}, via {path}]")
+    result = solve(
+        graph,
+        solver=args.solver,
+        epsilon=args.epsilon,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    if "used_sampling" in result.extras:
+        path = "sampling" if result.extras["used_sampling"] else "exact (small lambda)"
+        detail = f"[eps={args.epsilon}, via {path}]"
+    else:
+        detail = f"[eps={args.epsilon}]"
+    print(f"({result.guarantee}) cut value : {result.value:g}   {detail}")
     print(f"witness side size : {len(result.side)} of {graph.number_of_nodes}")
-    if result.used_sampling:
+    if result.extras.get("used_sampling"):
         print(
-            f"sampling rate p   : {result.probability:.4f}  "
-            f"(skeleton min cut {result.skeleton_value:g})"
+            f"sampling rate p   : {result.extras['probability']:.4f}  "
+            f"(skeleton min cut {result.extras['skeleton_value']:g})"
         )
+    _print_metrics(result)
     return 0
 
 
@@ -137,26 +174,58 @@ def _cmd_rounds(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    truth = stoer_wagner_min_cut(graph)
-    rows = [["Stoer-Wagner (ground truth)", truth.value, 1.0]]
-    exact = minimum_cut_exact(graph)
-    rows.append(["this paper, exact", exact.value, exact.value / truth.value])
-    approx = minimum_cut_approx(graph, epsilon=args.epsilon, seed=args.seed)
-    rows.append(
-        [f"this paper, (1+{args.epsilon})", approx.value, approx.value / truth.value]
+    registry = default_registry()
+    results = solve_all(
+        graph,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        names=args.solver or None,
+        include_heavy=args.heavy,
     )
-    matula = matula_approx_min_cut(graph, epsilon=args.epsilon)
-    rows.append(
-        [f"Matula (2+{args.epsilon}) [GK13 analog]", matula.value,
-         matula.value / truth.value]
+    if args.solver:
+        skipped = sorted(set(args.solver) - {r.solver for r in results})
+        if skipped:
+            print(
+                f"note: skipped (not applicable to this instance): "
+                f"{', '.join(skipped)}",
+                file=sys.stderr,
+            )
+    truth_name = registry.ground_truth().name
+    if all(r.solver != truth_name for r in results):
+        results.insert(0, solve(graph, solver=truth_name, seed=args.seed))
+    truth = next(r for r in results if r.solver == truth_name)
+    results.sort(key=lambda r: r.solver != truth_name)  # ground truth first
+    print(
+        format_cut_results(
+            results,
+            truth=truth.value,
+            registry=registry,
+            title=f"n={graph.number_of_nodes}, m={graph.number_of_edges}",
+        )
     )
-    su = su_approx_min_cut(graph, seed=args.seed)
-    rows.append(["Su (sampling+bridges)", su.value, su.value / truth.value])
+    return 0
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    yn = {True: "yes", False: "-"}
+    rows = [
+        [
+            spec.name,
+            spec.kind,
+            spec.guarantee,
+            yn[spec.supports_congest],
+            yn[spec.randomized],
+            spec.max_nodes if spec.max_nodes is not None else "-",
+            spec.summary,
+        ]
+        for spec in registry
+    ]
     print(
         format_table(
-            ["algorithm", "cut value", "ratio"],
-            [[name, val, round(ratio, 4)] for name, val, ratio in rows],
-            title=f"n={graph.number_of_nodes}, m={graph.number_of_edges}",
+            ["name", "kind", "guarantee", "congest", "random", "max n", "summary"],
+            rows,
+            title=f"{len(registry)} registered solvers (use with --solver NAME)",
         )
     )
     return 0
@@ -186,11 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_arguments(p_exact)
     p_exact.add_argument("--mode", choices=("reference", "congest"), default="reference")
     p_exact.add_argument("--trees", type=int, default=None, help="pin the packing size")
+    _add_solver_argument(p_exact, default="exact")
     p_exact.set_defaults(handler=_cmd_exact)
 
     p_approx = sub.add_parser("approx", help="(1+eps)-approximate minimum cut")
     _add_instance_arguments(p_approx)
     p_approx.add_argument("--epsilon", type=float, default=0.5)
+    p_approx.add_argument(
+        "--mode", choices=("reference", "congest"), default="reference"
+    )
+    _add_solver_argument(p_approx, default="approx")
     p_approx.set_defaults(handler=_cmd_approx)
 
     p_rounds = sub.add_parser("rounds", help="measure Theorem 2.1 round scaling")
@@ -201,10 +275,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_rounds.add_argument("--seed", type=int, default=0)
     p_rounds.set_defaults(handler=_cmd_rounds)
 
-    p_compare = sub.add_parser("compare", help="all algorithms on one instance")
+    p_compare = sub.add_parser("compare", help="all registered solvers on one instance")
     _add_instance_arguments(p_compare)
     p_compare.add_argument("--epsilon", type=float, default=0.5)
+    p_compare.add_argument(
+        "--solver",
+        action="append",
+        choices=sorted(default_registry().names()),
+        help="restrict to these solvers (repeatable; default: all applicable)",
+    )
+    p_compare.add_argument(
+        "--heavy",
+        action="store_true",
+        help="include heavy solvers (full CONGEST pipelines)",
+    )
     p_compare.set_defaults(handler=_cmd_compare)
+
+    p_solvers = sub.add_parser("solvers", help="list the solver registry")
+    p_solvers.set_defaults(handler=_cmd_solvers)
 
     p_bounds = sub.add_parser("bounds", help="certified minimum-cut interval")
     _add_instance_arguments(p_bounds)

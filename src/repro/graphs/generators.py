@@ -13,7 +13,6 @@ All generators are deterministic given a ``seed`` and return
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
 
 from ..errors import AlgorithmError, GraphError
 from .graph import Node, WeightedGraph

@@ -34,7 +34,7 @@ from ..congest.metrics import RunMetrics
 from ..congest.network import CongestNetwork
 from ..congest.node import NodeContext
 from ..core.one_respect_congest import one_respecting_min_cut_congest
-from ..graphs.graph import WeightedGraph, edge_key
+from ..graphs.graph import WeightedGraph
 from ..mst.boruvka_congest import boruvka_mst
 
 LOAD_KEY = "pack:load"

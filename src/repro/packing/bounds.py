@@ -106,7 +106,6 @@ def certified_cut_bounds(graph: WeightedGraph, max_trees: int = 64) -> CutBounds
     1-respecting cut over the disjoint trees.
     """
     from ..core.one_respect_reference import one_respecting_min_cut_reference
-    from ..graphs.properties import min_weighted_degree
 
     trees = edge_disjoint_packing(graph, max_trees=max_trees)
     lower = float(len(trees))

@@ -22,10 +22,9 @@ Items are tuples of scalars (O(1) words each).
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
-from typing import Optional
 
-from ..congest.network import CongestNetwork, RunMetrics
-from ..congest.node import Inbox, NodeContext, NodeId, NodeProgram
+from ..congest.network import CongestNetwork
+from ..congest.node import Inbox, NodeContext, NodeProgram
 from .bfs import BFS_TREE, build_bfs_tree
 from .treespec import TreeSpec
 

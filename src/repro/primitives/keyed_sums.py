@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable, Iterable
 
-from ..congest.node import Inbox, NodeContext, NodeId, NodeProgram
+from ..congest.node import Inbox, NodeContext, NodeProgram
 from .treespec import TreeSpec
 
 ContributionsFn = Callable[[NodeContext], Iterable[tuple]]

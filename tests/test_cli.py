@@ -73,3 +73,67 @@ class TestCommands:
         write_edge_list(g, path)
         assert main(["exact", "--file", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRegistryDrivenCommands:
+    def test_solvers_lists_registry(self, capsys):
+        from repro.api import default_registry
+
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in default_registry().names():
+            assert name in out
+
+    def test_exact_with_alternate_solver(self, capsys):
+        assert main(
+            ["exact", "--family", "cycle", "--n", "12", "--solver", "stoer_wagner"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "minimum cut value : 2" in out
+        assert "packing trees" not in out  # no tree extras for Stoer-Wagner
+
+    def test_approx_with_alternate_solver(self, capsys):
+        assert main(
+            ["approx", "--family", "cycle", "--n", "12", "--solver", "matula"]
+        ) == 0
+        assert "(2+eps) cut value : 2" in capsys.readouterr().out
+
+    def test_approx_congest_mode_forwarded(self, capsys):
+        assert main(
+            ["approx", "--family", "cycle", "--n", "10", "--mode", "congest"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+        assert "charged" in out
+
+    def test_compare_solver_filter(self, capsys):
+        assert main(
+            [
+                "compare", "--family", "cycle", "--n", "10",
+                "--solver", "exact", "--solver", "matula",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Stoer-Wagner (ground truth)" in out  # always included
+        assert "this paper, exact" in out
+        assert "Matula" in out
+        assert "Karger" not in out
+
+    def test_compare_explicitly_requested_heavy_solver_runs(self, capsys):
+        assert main(
+            ["compare", "--family", "cycle", "--n", "8",
+             "--solver", "exact_congest_full"]
+        ) == 0
+        assert "this paper, fully distributed" in capsys.readouterr().out
+
+    def test_compare_warns_about_inapplicable_requested_solver(self, capsys):
+        assert main(
+            ["compare", "--family", "gnp", "--n", "24", "--solver", "brute_force"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "skipped (not applicable" in captured.err
+        assert "brute_force" in captured.err
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exact", "--solver", "nope"])

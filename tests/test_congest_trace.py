@@ -1,6 +1,5 @@
 """Tests for the message tracer and its engine hook."""
 
-import pytest
 
 from repro.congest import (
     CongestNetwork,

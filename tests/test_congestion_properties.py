@@ -10,7 +10,7 @@ correct values.
 
 import pytest
 
-from repro.congest import CongestNetwork, MessageTracer, kind_filter
+from repro.congest import CongestNetwork, MessageTracer
 from repro.core import one_respecting_min_cut_congest
 from repro.graphs import connected_gnp_graph, random_spanning_tree
 from repro.fragments import partition_tree

@@ -7,7 +7,6 @@ import pytest
 from repro.congest import CongestNetwork
 from repro.errors import AlgorithmError
 from repro.fragments import (
-    FragmentDecomposition,
     partition_tree,
     run_distributed_partition,
 )

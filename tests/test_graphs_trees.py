@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TreeError
-from repro.graphs import RootedTree, WeightedGraph
+from repro.graphs import RootedTree
 
 
 @pytest.fixture

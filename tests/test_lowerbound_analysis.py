@@ -1,6 +1,5 @@
 """Tests for the Das Sarma hard family and the analysis helpers."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Unit tests for distributed primitives: BFS, convergecast, dissemination,
 pipelined keyed sums."""
 
-import pytest
 
 from repro.congest import CongestNetwork
 from repro.graphs import (

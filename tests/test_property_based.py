@@ -7,7 +7,6 @@ partitions, tree packing loads, MST agreement and CONGEST pipelines.
 
 from __future__ import annotations
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
