@@ -33,3 +33,31 @@ def record_table():
 def run_once(benchmark, fn):
     """Run a heavy experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def registry_comparison(graph, *, epsilon=None, seed=0, kinds=None,
+                        include_heavy=False, backend=None, cache=None):
+    """Ground truth + every applicable registered solver on ``graph``.
+
+    The façade-driven benchmark path: ``solve`` pins the registry's
+    ground-truth solver, ``solve_all`` fans out over every applicable
+    registered solver — so a newly registered solver is measured by the
+    harness automatically, with no benchmark edit.  Both calls honour
+    the execution engine's ``backend``/``cache`` knobs, so sweeps can
+    parallelise and replayed instances skip recomputation.
+
+    Returns ``(truth_result, results)``; render ``results`` with
+    :func:`repro.analysis.format_cut_results` (pass
+    ``truth=truth_result.value`` for the ratio column).
+    """
+    from repro.api import default_registry, solve, solve_all
+
+    registry = default_registry()
+    truth = solve(
+        graph, solver=registry.ground_truth().name, seed=seed, cache=cache
+    )
+    results = solve_all(
+        graph, epsilon=epsilon, seed=seed, kinds=kinds,
+        include_heavy=include_heavy, backend=backend, cache=cache,
+    )
+    return truth, results

@@ -6,6 +6,9 @@ Public API highlights
   :func:`repro.solve_batch` — the unified façade over every registered
   min-cut solver, returning canonical :class:`repro.CutResult` objects
   (see :mod:`repro.api`).
+* :mod:`repro.exec` — execution backends (``serial``/``thread``/
+  ``process``, the façade's ``backend=`` knob) and
+  :class:`repro.ResultCache`, the content-addressed result cache.
 * :class:`repro.graphs.WeightedGraph`, :class:`repro.graphs.RootedTree`
   and the generator families.
 * :class:`repro.congest.CongestNetwork` — the CONGEST simulator.
@@ -37,6 +40,7 @@ from .errors import (
     RoundLimitExceededError,
     TreeError,
 )
+from .exec import CacheKey, ResultCache, resolve_backend
 from .graphs import RootedTree, WeightedGraph
 
 __version__ = "1.0.0"
@@ -53,7 +57,10 @@ __all__ = [
     "TreeError",
     "RootedTree",
     "WeightedGraph",
+    "CacheKey",
     "CutResult",
+    "ResultCache",
+    "resolve_backend",
     "SolverRegistry",
     "SolverSpec",
     "default_registry",

@@ -16,19 +16,35 @@ service layers) never touch per-algorithm result types.
 
 ``solve_all`` runs every applicable solver on one graph (the compare
 workload); ``solve_batch`` maps ``solve`` over many graphs (the sweep
-workload — the planned async/parallel backends slot in here without
-changing the signature).
+workload).  Both take a ``backend=`` knob — ``"serial"`` (default),
+``"thread"`` or ``"process"``, with the ``REPRO_BACKEND`` environment
+variable supplying the default — that fans the work out through
+:mod:`repro.exec` without changing results: per-task seeds are frozen
+up front and all backends run the identical task path, so parallelism
+only changes wall time.
+
+All three entry points also take ``cache=`` — a
+:class:`repro.exec.ResultCache` keyed on the graph's canonical content
+hash plus every solver knob.  Hits skip the solver entirely and every
+cache-enabled result carries ``extras["cache"]`` with the hit flag and
+the cache's running hit/miss counters.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, Optional, Sequence
+from dataclasses import replace
+from typing import Any, Iterable, Optional, Sequence, Union
 
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, ReproError
+from ..exec.backends import Executor, resolve_backend
+from ..exec.cache import CacheKey, ResultCache
+from ..exec.task import SolveTask
 from ..graphs.graph import WeightedGraph
 from .registry import SolverRegistry, SolverSpec, default_registry
 from .result import CutResult
+
+Backend = Union[str, Executor, None]
 
 
 def solve(
@@ -40,6 +56,7 @@ def solve(
     seed: int = 0,
     budget: Optional[int] = None,
     registry: Optional[SolverRegistry] = None,
+    cache: Optional[ResultCache] = None,
     **options: Any,
 ) -> CutResult:
     """Compute a minimum cut of ``graph`` with one registered solver.
@@ -64,21 +81,37 @@ def solve(
         Determinism knob and effort cap (packing trees, contraction
         repetitions, sampling rate steps — per-solver meaning is listed
         in the registry summary).
+    cache:
+        Optional :class:`repro.exec.ResultCache`.  The key covers the
+        graph content hash and every knob (resolved solver name, epsilon,
+        mode, seed, budget, options); on a hit the stored result is
+        returned without running the solver.  Cache-enabled results
+        carry ``extras["cache"] = {"hit": bool, "hits": int,
+        "misses": int}``.
     options:
         Extra keyword arguments forwarded verbatim to the solver adapter
         (e.g. ``tree_count=...`` for the packing solvers).
     """
     registry = registry if registry is not None else default_registry()
     graph.require_connected()
-    if solver == "auto":
-        spec = registry.select_auto(graph, mode=mode, epsilon=epsilon)
-    else:
-        spec = registry.get(solver)
-        reason = spec.inapplicable_reason(graph, mode=mode, epsilon=epsilon)
-        if reason is not None:
-            raise AlgorithmError(reason)
-    return _run(spec, graph, epsilon=epsilon, mode=mode, seed=seed,
-                budget=budget, **options)
+    spec = _resolve_spec(registry, graph, solver, mode=mode, epsilon=epsilon)
+    key = None
+    if cache is not None:
+        key = CacheKey.for_solve(
+            graph, spec.name, epsilon=epsilon, mode=mode, seed=seed,
+            budget=budget, options=options,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return _stamp_cache(hit, cache, hit=True)
+    result = _run(
+        spec, graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget,
+        **options,
+    )
+    if cache is not None:
+        cache.put(key, result)
+        result = _stamp_cache(result, cache, hit=False)
+    return result
 
 
 def solve_all(
@@ -92,6 +125,8 @@ def solve_all(
     names: Optional[Sequence[str]] = None,
     include_heavy: bool = False,
     registry: Optional[SolverRegistry] = None,
+    backend: Backend = None,
+    cache: Optional[ResultCache] = None,
 ) -> list[CutResult]:
     """Run every applicable registered solver on ``graph``.
 
@@ -105,6 +140,11 @@ def solve_all(
     bypassed (you asked for them by name); capability filters still
     apply, so compare the returned solvers against your request to see
     what was skipped as inapplicable.
+
+    ``backend`` fans the per-solver runs out through
+    :mod:`repro.exec` (``"serial"``/``"thread"``/``"process"``, default
+    from ``$REPRO_BACKEND``); ``cache`` short-circuits solvers whose
+    result for this exact instance and knob set is already known.
     """
     registry = registry if registry is not None else default_registry()
     graph.require_connected()
@@ -123,10 +163,19 @@ def solve_all(
             graph, mode=mode, epsilon=epsilon, kinds=kind_filter,
             include_heavy=include_heavy,
         )
-    return [
-        _run(spec, graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget)
+    tasks = [
+        SolveTask(
+            graph=graph,
+            solver=spec.name,
+            epsilon=epsilon,
+            mode=mode,
+            seed=seed,
+            budget=budget,
+            label=f"solver {spec.name!r}",
+        )
         for spec in specs
     ]
+    return _execute(tasks, backend=backend, registry=registry, cache=cache)
 
 
 def solve_batch(
@@ -138,27 +187,134 @@ def solve_batch(
     seed: int = 0,
     budget: Optional[int] = None,
     registry: Optional[SolverRegistry] = None,
+    backend: Backend = None,
+    cache: Optional[ResultCache] = None,
     **options: Any,
 ) -> list[CutResult]:
     """``solve`` mapped over many graphs (one result per graph, in order).
 
     Each graph gets seed ``seed + index`` so batch runs are deterministic
-    yet not correlated across instances.  This is the single choke point
-    the ROADMAP's async/parallel backends will parallelize.
+    yet not correlated across instances — and because every task's seed
+    is frozen before dispatch, the ``backend`` knob (``"serial"``,
+    ``"thread"``, ``"process"``; default from ``$REPRO_BACKEND``) never
+    changes the results, only the wall time.
+
+    ``graphs`` may be any iterable (it is materialised exactly once), and
+    a failure anywhere raises :class:`~repro.errors.AlgorithmError`
+    naming the offending graph index instead of bubbling a bare
+    mid-batch error; results completed before the failure are still
+    written to ``cache``.  ``cache`` is consulted per task before
+    dispatch — because the key includes the per-index seed, replaying a
+    batch hits (same instance, same index/seed), but a duplicate graph
+    *within* a batch sits at a different index, gets a different seed,
+    and recomputes.
     """
-    return [
-        solve(
-            graph,
-            solver,
-            epsilon=epsilon,
-            mode=mode,
-            seed=seed + index,
-            budget=budget,
-            registry=registry,
-            **options,
+    registry = registry if registry is not None else default_registry()
+    tasks = []
+    for index, graph in enumerate(graphs):
+        try:
+            graph.require_connected()
+            spec = _resolve_spec(
+                registry, graph, solver, mode=mode, epsilon=epsilon
+            )
+        except ReproError as exc:
+            raise AlgorithmError(f"solve_batch: graph #{index}: {exc}") from exc
+        tasks.append(
+            SolveTask(
+                graph=graph,
+                solver=spec.name,
+                epsilon=epsilon,
+                mode=mode,
+                seed=seed + index,
+                budget=budget,
+                options=tuple(sorted(options.items())),
+                label=f"graph #{index}",
+            )
         )
-        for index, graph in enumerate(graphs)
-    ]
+    return _execute(tasks, backend=backend, registry=registry, cache=cache)
+
+
+def _resolve_spec(
+    registry: SolverRegistry,
+    graph: WeightedGraph,
+    solver: str,
+    *,
+    mode: str,
+    epsilon: Optional[float],
+) -> SolverSpec:
+    """Resolve ``solver`` (a name or ``"auto"``) to an applicable spec."""
+    if solver == "auto":
+        return registry.select_auto(graph, mode=mode, epsilon=epsilon)
+    spec = registry.get(solver)
+    reason = spec.inapplicable_reason(graph, mode=mode, epsilon=epsilon)
+    if reason is not None:
+        raise AlgorithmError(reason)
+    return spec
+
+
+def _execute(
+    tasks: list[SolveTask],
+    *,
+    backend: Backend,
+    registry: SolverRegistry,
+    cache: Optional[ResultCache],
+) -> list[CutResult]:
+    """Run tasks through the chosen backend, honouring the cache.
+
+    Cache lookups and stores happen in the calling process (worker
+    processes cannot share the cache object), so only misses are
+    dispatched; results come back in task order either way.  Backends
+    return failures as captured exceptions; with a cache attached every
+    completed result is cached (memory + one disk flush) before the
+    first failure — in task order — is raised, while without one the
+    serial backend stops at the failure instead of computing results
+    nobody will see.
+    """
+    executor = resolve_backend(backend)  # validate even if every task hits
+    results: list[Optional[CutResult]] = [None] * len(tasks)
+    if cache is not None:
+        pending: list[tuple[int, SolveTask]] = []
+        keys = {}
+        for position, task in enumerate(tasks):
+            key = task.cache_key()
+            keys[position] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[position] = _stamp_cache(hit, cache, hit=True)
+            else:
+                pending.append((position, task))
+    else:
+        pending = list(enumerate(tasks))
+    if pending:
+        computed = executor.run_tasks(
+            [task for _, task in pending],
+            registry=registry,
+            keep_going=cache is not None,  # completed work is only worth
+        )                                  # finishing if it can be cached
+        failure: Optional[Exception] = None
+        for (position, _task), outcome in zip(pending, computed):
+            if isinstance(outcome, Exception):
+                if failure is None:
+                    failure = outcome
+                continue
+            if cache is not None:
+                cache.put(keys[position], outcome, flush=False)
+                outcome = _stamp_cache(outcome, cache, hit=False)
+            results[position] = outcome
+        if cache is not None:
+            cache.flush()  # one disk write per batch, not per store
+        if failure is not None:
+            raise failure
+    return results  # type: ignore[return-value]  (every slot is filled)
+
+
+def _stamp_cache(
+    result: CutResult, cache: ResultCache, *, hit: bool
+) -> CutResult:
+    """Surface the cache outcome and running counters in ``extras``."""
+    extras = dict(result.extras)
+    extras["cache"] = {"hit": hit, "hits": cache.hits, "misses": cache.misses}
+    return replace(result, extras=extras)
 
 
 def _run(

@@ -29,7 +29,9 @@ from ..baselines.gomory_hu import gomory_hu_min_cut
 from ..baselines.matula import matula_approx_min_cut
 from ..baselines.nagamochi_ibaraki import sparse_certificate
 from ..baselines.stoer_wagner import stoer_wagner_min_cut
+from ..baselines.su_congest import su_minimum_cut_congest
 from ..baselines.su_sampling import su_approx_min_cut
+from ..core.two_respect import minimum_cut_exact_two_respect
 from ..errors import AlgorithmError
 from ..graphs.properties import min_weighted_degree
 from ..mincut.approx import minimum_cut_approx
@@ -113,6 +115,30 @@ def _solve_approx(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
             "skeleton_value": result.skeleton_value,
             "halvings": result.halvings,
             "used_sampling": result.used_sampling,
+        },
+    )
+
+
+@register_solver(
+    "two_respect",
+    kind="exact",
+    guarantee="exact",
+    display="2-respecting packing (Karger)",
+    implementation=minimum_cut_exact_two_respect,
+    summary="greedy packing + per-tree 2-respecting minimisation; budget = tree cap",
+    priority=70,
+)
+def _solve_two_respect(graph, *, epsilon=None, mode="reference", seed=0,
+                       budget=None, tree_count=None, **options):
+    if budget is not None:
+        options.setdefault("max_trees", budget)
+    result = minimum_cut_exact_two_respect(graph, tree_count=tree_count, **options)
+    return CutResult(
+        value=result.best_value,
+        side=result.side,
+        extras={
+            "respect_nodes": result.nodes,
+            "crossings": result.crossings,
         },
     )
 
@@ -286,6 +312,35 @@ def _solve_su(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
     if budget is not None:
         options.setdefault("rate_steps", budget)
     return CutResult(**_value_side(su_approx_min_cut(graph, seed=seed, **options)))
+
+
+@register_solver(
+    "su_congest",
+    kind="approx",
+    guarantee="1+eps (whp)",
+    display="Su, fully distributed",
+    implementation=su_minimum_cut_congest,
+    summary="distributed Su pipeline: sampling + skeleton BFS + Theorem 2.1; budget = rate steps",
+    supports_congest=True,
+    requires_integer_weights=True,
+    randomized=True,
+    heavy=True,
+    priority=10,
+)
+def _solve_su_congest(graph, *, epsilon=None, mode="reference", seed=0,
+                      budget=None, **options):
+    if budget is not None:
+        options.setdefault("rate_steps", budget)
+    result = su_minimum_cut_congest(graph, seed=seed, **options)
+    return CutResult(
+        value=result.value,
+        side=result.side,
+        metrics=result.metrics,
+        extras={
+            "best_rate": result.best_rate,
+            "rates_tried": result.rates_tried,
+        },
+    )
 
 
 @register_solver(

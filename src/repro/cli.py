@@ -11,13 +11,19 @@ Commands
                sweep of one family and fit the scaling exponent.
 ``compare``    run every applicable registered solver on one instance
                and print the agreement table.
+``sweep``      solve a generated batch of instances through
+               ``solve_batch`` (execution backend + result cache knobs).
 ``solvers``    list the solver registry with capability metadata.
 ``bounds``     certified λ interval from edge-disjoint tree packings.
 
 All algorithm dispatch goes through :mod:`repro.api` — the commands
 iterate the solver registry instead of hard-coding algorithm lists, so
 a newly registered solver is immediately selectable with ``--solver``
-and shows up in ``compare`` and ``solvers``.
+and shows up in ``compare`` and ``solvers``.  ``compare`` and ``sweep``
+additionally expose the execution engine (:mod:`repro.exec`): pick a
+backend with ``--backend serial|thread|process`` (default from
+``$REPRO_BACKEND``) and enable result caching with ``--cache`` /
+``--cache-file``.
 
 Examples
 --------
@@ -27,7 +33,9 @@ Examples
     python -m repro exact --family grid --n 64 --solver stoer_wagner
     python -m repro approx --family complete --n 64 --epsilon 0.5 --mode congest
     python -m repro rounds --family grid --sizes 64,144,324
-    python -m repro compare --file mygraph.edges
+    python -m repro compare --file mygraph.edges --backend thread
+    python -m repro sweep --family gnp --n 64 --count 16 --backend process
+    python -m repro sweep --family grid --n 49 --count 8 --cache --repeat 2
     python -m repro solvers
 """
 
@@ -39,9 +47,10 @@ import sys
 from typing import Optional
 
 from .analysis import fit_power_law, format_cut_results, format_table
-from .api import CutResult, default_registry, solve, solve_all
+from .api import CutResult, default_registry, solve, solve_all, solve_batch
 from .core import one_respecting_min_cut_congest
 from .errors import ReproError
+from .exec import BACKENDS, ResultCache, resolve_backend
 from .graphs import (
     WeightedGraph,
     build_family,
@@ -82,6 +91,44 @@ def _add_solver_argument(parser: argparse.ArgumentParser, default: str) -> None:
         default=default,
         help=f"registered solver to run (default: {default})",
     )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="execution backend (default: $REPRO_BACKEND or serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the in-memory result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="persistent JSON result cache (implies --cache)",
+    )
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.cache_file:
+        return ResultCache(path=args.cache_file)
+    if args.cache:
+        return ResultCache()
+    return None
+
+
+def _print_cache_stats(cache: Optional[ResultCache]) -> None:
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache             : {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['memory_entries']} in memory, "
+            f"{stats['disk_entries']} on disk"
+        )
 
 
 def _print_metrics(result: CutResult) -> None:
@@ -175,12 +222,15 @@ def _cmd_rounds(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     registry = default_registry()
+    cache = _build_cache(args)
     results = solve_all(
         graph,
         epsilon=args.epsilon,
         seed=args.seed,
         names=args.solver or None,
         include_heavy=args.heavy,
+        backend=args.backend,
+        cache=cache,
     )
     if args.solver:
         skipped = sorted(set(args.solver) - {r.solver for r in results})
@@ -192,7 +242,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             )
     truth_name = registry.ground_truth().name
     if all(r.solver != truth_name for r in results):
-        results.insert(0, solve(graph, solver=truth_name, seed=args.seed))
+        results.insert(
+            0, solve(graph, solver=truth_name, seed=args.seed, cache=cache)
+        )
     truth = next(r for r in results if r.solver == truth_name)
     results.sort(key=lambda r: r.solver != truth_name)  # ground truth first
     print(
@@ -203,6 +255,56 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"n={graph.number_of_nodes}, m={graph.number_of_edges}",
         )
     )
+    _print_cache_stats(cache)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graphs = [
+        build_family(args.family, args.n, seed=args.seed + i)
+        for i in range(args.count)
+    ]
+    cache = _build_cache(args)
+    backend = resolve_backend(args.backend)
+    results: list[CutResult] = []
+    for _ in range(max(1, args.repeat)):
+        results = solve_batch(
+            graphs,
+            args.solver,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            budget=args.budget,
+            backend=backend,
+            cache=cache,
+        )
+    rows = []
+    for index, (graph, result) in enumerate(zip(graphs, results)):
+        note = "-"
+        info = result.extras.get("cache")
+        if info is not None:
+            note = "hit" if info["hit"] else "miss"
+        rows.append(
+            [
+                index,
+                graph.number_of_nodes,
+                graph.number_of_edges,
+                result.solver,
+                result.value,
+                f"{result.wall_time:.4f}",
+                note,
+            ]
+        )
+    print(
+        format_table(
+            ["#", "n", "m", "solver", "cut value", "time (s)", "cache"],
+            rows,
+            title=(
+                f"sweep — family '{args.family}', {args.count} instance(s), "
+                f"backend {backend.name}"
+            ),
+        )
+    )
+    _print_cache_stats(cache)
     return 0
 
 
@@ -289,7 +391,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include heavy solvers (full CONGEST pipelines)",
     )
+    _add_execution_arguments(p_compare)
     p_compare.set_defaults(handler=_cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="batch-solve generated instances via solve_batch"
+    )
+    p_sweep.add_argument(
+        "--family", choices=sorted(FAMILY_BUILDERS), default="gnp"
+    )
+    p_sweep.add_argument("--n", type=int, default=64, help="approximate size")
+    p_sweep.add_argument(
+        "--count", type=int, default=8, help="number of instances to generate"
+    )
+    p_sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed (instance i uses seed + i, for generation and solving)",
+    )
+    p_sweep.add_argument(
+        "--solver",
+        choices=["auto"] + sorted(default_registry().names()),
+        default="auto",
+        help="registered solver to run on every instance (default: auto)",
+    )
+    p_sweep.add_argument(
+        "--epsilon", type=float, default=None,
+        help="approximation parameter (switches auto to approx solvers)",
+    )
+    p_sweep.add_argument(
+        "--budget", type=int, default=None, help="per-solver effort cap"
+    )
+    p_sweep.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the batch this many times (with --cache, later passes hit)",
+    )
+    _add_execution_arguments(p_sweep)
+    p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_solvers = sub.add_parser("solvers", help="list the solver registry")
     p_solvers.set_defaults(handler=_cmd_solvers)

@@ -1,0 +1,53 @@
+"""Execution engine: pluggable solve backends + content-addressed cache.
+
+The façade (:mod:`repro.api.facade`) is the single choke point for
+every sweep workload; this package is the layer that scales it:
+
+* :mod:`~repro.exec.task` — :class:`SolveTask`, a picklable frozen
+  façade call, and :func:`run_task`, the module-level runner every
+  backend shares (the determinism contract).
+* :mod:`~repro.exec.backends` — :class:`Executor` and the ``serial`` /
+  ``thread`` / ``process`` implementations, selected by the
+  ``backend=`` knob on ``solve_batch``/``solve_all`` or the
+  ``REPRO_BACKEND`` environment variable.
+* :mod:`~repro.exec.cache` — :class:`CacheKey` (graph content hash +
+  solver knobs) and :class:`ResultCache`, an LRU with an optional JSON
+  persistence tier, consulted by ``solve``/``solve_all``/``solve_batch``
+  via their ``cache=`` parameter.
+
+Usage::
+
+    from repro.api import solve_batch
+    from repro.exec import ResultCache
+
+    cache = ResultCache(path="results.json")
+    results = solve_batch(graphs, backend="process", cache=cache)
+    again = solve_batch(graphs, backend="process", cache=cache)  # all hits
+"""
+
+from .backends import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    REPRO_BACKEND_ENV,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_backend,
+)
+from .cache import CacheKey, ResultCache
+from .task import SolveTask, run_task, run_task_captured
+
+__all__ = [
+    "BACKENDS",
+    "CacheKey",
+    "Executor",
+    "ProcessExecutor",
+    "REPRO_BACKEND_ENV",
+    "ResultCache",
+    "SerialExecutor",
+    "SolveTask",
+    "ThreadExecutor",
+    "resolve_backend",
+    "run_task",
+    "run_task_captured",
+]

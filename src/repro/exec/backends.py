@@ -1,0 +1,195 @@
+"""Execution backends: serial, thread pool and process pool.
+
+Every backend implements the same tiny :class:`Executor` interface —
+``run_tasks(tasks, registry=None)`` returning outcomes **in task
+order**, where an outcome is the task's :class:`CutResult` or, for a
+failed task, the :class:`AlgorithmError` it raised — so the façade's
+``backend=`` knob (and the ``REPRO_BACKEND`` environment default)
+selects one without touching any solver code, and (with a cache
+attached) one failing task never discards the rest of the batch's
+completed work; without a cache the serial backend fails fast instead.
+
+Determinism contract: a task's seed is frozen when the task is built
+(``seed + index`` for batches), every solver draws randomness from a
+local ``random.Random(seed)``, and all backends run the identical
+:func:`repro.exec.task.run_task` path — so serial, thread and process
+execution of the same batch produce identical results, in the same
+order.  Parallelism only changes wall time.
+
+The process backend ships tasks by value (pickle) and re-dispatches
+through the worker's own default registry; a *custom* registry cannot
+be shipped to workers (its adapters may be closures), so it is
+rejected with a clear error — use the serial or thread backend for
+custom registries.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Sequence, Union
+
+from ..errors import AlgorithmError
+from .task import SolveTask, run_task_captured
+
+#: Environment variable supplying the default backend name.
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+
+def _default_workers() -> int:
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class Executor:
+    """Common interface: map :func:`run_task_captured` over tasks.
+
+    ``run_tasks`` is order-preserving and nothing raises mid-map: a
+    failed task's outcome is its captured :class:`AlgorithmError`.
+    With ``keep_going=False`` (the default) a backend may stop after
+    the first failure and return a truncated list — the caller has no
+    use for later results it is about to discard.  The façade passes
+    ``keep_going=True`` when a cache is attached, so completed work is
+    preserved before the failure is raised.  The pool backends always
+    run every task either way: the pool has dispatched the whole batch
+    before the first failure is observed (exactly the pre-capture
+    ``pool.map`` semantics).
+    """
+
+    name = "base"
+
+    def run_tasks(
+        self,
+        tasks: Sequence[SolveTask],
+        registry=None,
+        keep_going: bool = False,
+    ) -> list:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run tasks one after another in the calling thread (the default)."""
+
+    name = "serial"
+
+    def run_tasks(
+        self,
+        tasks: Sequence[SolveTask],
+        registry=None,
+        keep_going: bool = False,
+    ) -> list:
+        outcomes = []
+        for task in tasks:
+            outcome = run_task_captured(task, registry=registry)
+            outcomes.append(outcome)
+            if isinstance(outcome, Exception) and not keep_going:
+                break  # fail fast: nobody will consume later results
+        return outcomes
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend.
+
+    Solvers are pure Python, so the GIL caps the speedup; the thread
+    backend still overlaps any I/O and is the cheap way to exercise the
+    concurrency contract (shared registry, local RNGs) without pickling.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers if max_workers is not None else _default_workers()
+
+    def run_tasks(
+        self,
+        tasks: Sequence[SolveTask],
+        registry=None,
+        keep_going: bool = False,
+    ) -> list:
+        if not tasks:
+            return []
+        workers = max(1, min(len(tasks), self.max_workers))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(
+                    lambda task: run_task_captured(task, registry=registry),
+                    tasks,
+                )
+            )
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend — real parallelism for sweep workloads.
+
+    Tasks must pickle (graphs with hashable, picklable nodes — true for
+    everything the generators produce); workers resolve solvers through
+    their own default registry, so custom registries are rejected.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers if max_workers is not None else _default_workers()
+
+    def run_tasks(
+        self,
+        tasks: Sequence[SolveTask],
+        registry=None,
+        keep_going: bool = False,
+    ) -> list:
+        from ..api.registry import DEFAULT_REGISTRY
+
+        if registry is not None and registry is not DEFAULT_REGISTRY:
+            raise AlgorithmError(
+                "the process backend cannot ship a custom registry to worker "
+                "processes; use backend='serial' or 'thread' instead"
+            )
+        if not tasks:
+            return []
+        workers = max(1, min(len(tasks), self.max_workers))
+        chunksize = max(1, len(tasks) // (4 * workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_task_captured, tasks, chunksize=chunksize))
+
+
+#: Name → executor class; the valid values of ``backend=`` / REPRO_BACKEND.
+BACKENDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_backend(backend: Union[str, Executor, None] = None) -> Executor:
+    """Turn a ``backend=`` knob value into an :class:`Executor`.
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment variable,
+    then to ``"serial"``.  An :class:`Executor` instance passes through
+    untouched (bring-your-own pool sizing).
+    """
+    if isinstance(backend, Executor):
+        return backend
+    name = backend
+    if name is None:
+        name = os.environ.get(REPRO_BACKEND_ENV, "").strip() or "serial"
+    try:
+        cls = BACKENDS[str(name).lower()]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown execution backend {name!r}; choose one of "
+            f"{', '.join(sorted(BACKENDS))} (or set ${REPRO_BACKEND_ENV})"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "REPRO_BACKEND_ENV",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "resolve_backend",
+]

@@ -1,0 +1,344 @@
+"""Content-addressed result cache in front of ``solve``.
+
+A :class:`CacheKey` pins everything that determines a solver's output:
+the graph's canonical content hash
+(:meth:`repro.graphs.WeightedGraph.content_hash`), the resolved solver
+name, epsilon, mode, seed, budget and the extra options.  Two
+structurally identical graphs built in different insertion orders
+produce the same key, so benchmark sweeps and (future) service traffic
+that replay instances skip recomputation entirely.
+
+:class:`ResultCache` is a bounded LRU with hit/miss counters and an
+optional JSON persistence tier: pass ``path=`` and every storable
+entry is flushed to disk and reloaded by later processes.  Tuples in
+``extras`` (the paper solvers report e.g. ``per_tree_values``) are
+persisted via a tagged encoding and restored as tuples; results that
+still do not round-trip JSON faithfully (CONGEST metrics attached,
+non-scalar nodes, non-string dict keys) stay memory-only — the cache
+never persists an entry it could not reproduce exactly.
+
+``CutResult.verify(graph)`` makes every hit auditable: the cached
+witness side can be re-checked against the graph without trusting the
+cache (the façade surfaces hit/miss counters in
+``CutResult.extras["cache"]`` for exactly that workflow).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: merge-on-flush stays best-effort
+    fcntl = None
+
+from ..api.result import CutResult
+from ..errors import AlgorithmError
+from ..graphs.graph import WeightedGraph
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything that determines a ``solve`` outcome, canonicalised."""
+
+    graph_hash: str
+    solver: str
+    epsilon: Optional[float]
+    mode: str
+    seed: Optional[int]
+    budget: Optional[int]
+    options: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def for_solve(
+        cls,
+        graph: WeightedGraph,
+        solver: str,
+        *,
+        epsilon: Optional[float] = None,
+        mode: str = "reference",
+        seed: int = 0,
+        budget: Optional[int] = None,
+        options: Optional[dict[str, Any]] = None,
+    ) -> "CacheKey":
+        """Build the key for one façade call.
+
+        ``solver`` should be the *resolved* registry name (never
+        ``"auto"``) so a hit is attributable to a concrete algorithm;
+        option values are canonicalised via ``repr`` and numeric knobs
+        by type (``epsilon=1`` and ``epsilon=1.0`` are one key, in the
+        digest as well as in memory).
+        """
+        canonical = tuple(
+            sorted((str(k), repr(v)) for k, v in (options or {}).items())
+        )
+        return cls(
+            graph_hash=graph.content_hash(),
+            solver=str(solver),
+            epsilon=None if epsilon is None else float(epsilon),
+            mode=str(mode),
+            seed=None if seed is None else int(seed),
+            budget=None if budget is None else int(budget),
+            options=canonical,
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest — the on-disk dictionary key."""
+        blob = repr(
+            (
+                self.graph_hash,
+                self.solver,
+                self.epsilon,
+                self.mode,
+                self.seed,
+                self.budget,
+                self.options,
+            )
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU over :class:`CacheKey` → :class:`CutResult`.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory entry cap; least-recently-used entries are evicted.
+    path:
+        Optional JSON file for the persistence tier.  Loaded lazily and
+        tolerant of a missing/corrupt file (the cache just starts cold);
+        flushed on every store of a persistable entry.
+    """
+
+    def __init__(
+        self, maxsize: int = 1024, path: Union[str, Path, None] = None
+    ) -> None:
+        if maxsize < 1:
+            raise AlgorithmError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.path = Path(path) if path is not None else None
+        self._memory: OrderedDict[CacheKey, CutResult] = OrderedDict()
+        self._disk: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text(encoding="utf-8"))
+                if isinstance(loaded, dict):
+                    self._disk = loaded
+            except (OSError, ValueError):
+                self._disk = {}
+
+    # -- lookup / store ------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[CutResult]:
+        """The cached result for ``key``, or ``None`` (counts hit/miss)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return entry
+        payload = self._disk.get(key.digest())
+        if payload is not None:
+            result = _result_from_payload(payload)
+            if result is not None:
+                self._remember(key, result)
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, key: CacheKey, result: CutResult, *, flush: bool = True) -> None:
+        """Store ``result`` under ``key`` (memory always, disk if faithful).
+
+        With a ``path`` configured the file is rewritten on the store —
+        even when this entry itself is memory-only — so a corrupt or
+        foreign file is healed as soon as the cache is written to.
+        Batch writers pass ``flush=False`` per entry and call
+        :meth:`flush` once at the end, avoiding an O(N²) rewrite of the
+        growing file across a sweep.
+        """
+        self._remember(key, result)
+        if self.path is not None:
+            payload = _result_to_payload(result)
+            if payload is not None:
+                self._disk[key.digest()] = payload
+            if flush:
+                self.flush()
+
+    def _remember(self, key: CacheKey, result: CutResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    # -- maintenance ---------------------------------------------------
+
+    def flush(self) -> None:
+        """Write the persistence tier (no-op for memory-only caches).
+
+        Entries another process persisted since this cache loaded the
+        file are re-read and adopted first (ours win on conflict), so
+        concurrent writers sharing one ``path`` append to — rather than
+        erase — each other's work.  The read-merge-write runs under an
+        advisory ``flock`` on a sibling ``.lock`` file (POSIX; a no-op
+        best-effort elsewhere), and the file itself is written to a
+        temp path and atomically renamed into place, so a reader (or a
+        crash) mid-write never observes truncated JSON.
+        """
+        if self.path is None:
+            return
+        with self._file_lock():
+            if self.path.exists():
+                try:
+                    on_disk = json.loads(self.path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    on_disk = None  # corrupt/foreign file: overwrite (heal)
+                if isinstance(on_disk, dict):
+                    for digest, payload in on_disk.items():
+                        self._disk.setdefault(digest, payload)
+            self._write()
+
+    @contextmanager
+    def _file_lock(self):
+        """Exclusive advisory lock serialising flush/clear across processes.
+
+        The ``.lock`` file is deliberately never deleted — unlinking a
+        lock file is the classic race (a waiter can hold the lock of an
+        unlinked inode while a newcomer locks a fresh file).
+        """
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with open(lock_path, "w", encoding="utf-8") as lock_file:
+            fcntl.flock(lock_file, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+
+    def _write(self) -> None:
+        """Atomically replace the file with this cache's disk tier."""
+        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(self._disk, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        """Drop every entry (both tiers) and reset the counters.
+
+        Unlike :meth:`flush`, this truncates the file outright — no
+        merge with other writers' entries — because "clear" must mean
+        the persisted tier is empty afterwards.
+        """
+        self._memory.clear()
+        self._disk.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            with self._file_lock():
+                self._write()
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot: hits, misses, entries per tier."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_entries": len(self._memory),
+            "disk_entries": len(self._disk),
+        }
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._memory or key.digest() in self._disk
+
+
+#: Marker key for the tagged tuple encoding in persisted extras.
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode_extras(value):
+    """JSON-safe form of an extras value; tuples get a tagged wrapper.
+
+    Raises ``ValueError`` for values the encoding cannot represent
+    unambiguously (a dict that itself uses the tag key).
+    """
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_extras(item) for item in value]}
+    if isinstance(value, list):
+        return [_encode_extras(item) for item in value]
+    if isinstance(value, dict):
+        if _TUPLE_TAG in value:
+            raise ValueError(f"extras dict uses the reserved key {_TUPLE_TAG!r}")
+        return {key: _encode_extras(item) for key, item in value.items()}
+    return value
+
+
+def _decode_extras(value):
+    if isinstance(value, dict):
+        if set(value) == {_TUPLE_TAG}:
+            return tuple(_decode_extras(item) for item in value[_TUPLE_TAG])
+        return {key: _decode_extras(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_extras(item) for item in value]
+    return value
+
+
+def _result_to_payload(result: CutResult) -> Optional[dict]:
+    """JSON payload for ``result``, or ``None`` when not faithfully storable."""
+    if result.metrics is not None:
+        return None  # CONGEST metrics carry per-phase objects; memory tier only
+    if not all(isinstance(node, (int, str)) for node in result.side):
+        return None
+    try:
+        extras = _encode_extras(dict(result.extras))
+    except ValueError:
+        return None
+    payload = {
+        "value": result.value,
+        "side": sorted(result.side, key=repr),
+        "solver": result.solver,
+        "guarantee": result.guarantee,
+        "seed": result.seed,
+        "wall_time": result.wall_time,
+        "extras": extras,
+    }
+    try:
+        if json.loads(json.dumps(payload)) != payload:
+            return None  # non-string keys/NaN would come back altered — skip
+    except (TypeError, ValueError):
+        return None
+    return payload
+
+
+def _result_from_payload(payload: dict) -> Optional[CutResult]:
+    try:
+        return CutResult(
+            value=float(payload["value"]),
+            side=frozenset(payload["side"]),
+            solver=str(payload["solver"]),
+            guarantee=str(payload["guarantee"]),
+            seed=payload["seed"],
+            metrics=None,
+            wall_time=float(payload["wall_time"]),
+            extras=_decode_extras(dict(payload["extras"])),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None  # foreign/corrupt entry: treat as a miss
+
+
+__all__ = ["CacheKey", "ResultCache"]

@@ -1,0 +1,109 @@
+"""Picklable solve tasks — the unit of work every backend executes.
+
+A :class:`SolveTask` freezes one façade call (graph, solver name and
+knobs) into a plain frozen dataclass, and :func:`run_task` is the
+module-level runner every backend invokes.  Keeping the runner at
+module level (rather than a bound method or lambda) is what makes the
+process backend work: ``pickle`` ships the task by value and the
+runner by reference, so worker processes re-dispatch through their own
+default registry.
+
+All backends — including the serial one — run tasks through the same
+code path, so a batch is bit-for-bit reproducible regardless of which
+backend executed it (per-task seeds are fixed when the task is built,
+and the pickled graph preserves node insertion order because dicts
+round-trip ordered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import AlgorithmError, ReproError
+from ..graphs.graph import WeightedGraph
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One frozen façade call: ``solve(graph, solver, **knobs)``.
+
+    ``options`` is a sorted tuple of ``(name, value)`` pairs (tuples,
+    not a dict, so tasks are hashable and canonical); ``label`` names
+    the task in error messages (``"graph #3"`` for batch entries,
+    ``"solver 'matula'"`` for compare fan-outs).
+    """
+
+    graph: WeightedGraph
+    solver: str
+    epsilon: Optional[float] = None
+    mode: str = "reference"
+    seed: int = 0
+    budget: Optional[int] = None
+    options: tuple[tuple[str, Any], ...] = ()
+    label: str = ""
+
+    def cache_key(self):
+        """The :class:`repro.exec.cache.CacheKey` identifying this task."""
+        from .cache import CacheKey
+
+        return CacheKey.for_solve(
+            self.graph,
+            self.solver,
+            epsilon=self.epsilon,
+            mode=self.mode,
+            seed=self.seed,
+            budget=self.budget,
+            options=dict(self.options),
+        )
+
+
+def run_task(task: SolveTask, registry=None):
+    """Execute one task through the façade; the backends' single entry.
+
+    Library errors are re-raised as :class:`AlgorithmError` prefixed
+    with the task's label, so a failure deep inside a batch names the
+    offending graph/solver instead of surfacing bare.
+
+    Validation (connectivity, solver applicability) deliberately runs
+    again here even though the façade pre-validates batch tasks: tasks
+    can be hand-built or shipped to worker processes, so the runner
+    cannot assume a trusted caller, and the re-check is O(n + m) —
+    noise next to any solver.
+    """
+    from ..api.facade import solve
+
+    try:
+        return solve(
+            task.graph,
+            task.solver,
+            epsilon=task.epsilon,
+            mode=task.mode,
+            seed=task.seed,
+            budget=task.budget,
+            registry=registry,
+            **dict(task.options),
+        )
+    except ReproError as exc:
+        label = task.label or f"task (solver {task.solver!r})"
+        raise AlgorithmError(
+            f"{label} failed in solver {task.solver!r}: {exc}"
+        ) from exc
+
+
+def run_task_captured(task: SolveTask, registry=None):
+    """:func:`run_task`, but a failure is returned instead of raised.
+
+    Backends map this over their tasks so one failing task does not
+    discard the batch's completed work — the façade caches the
+    successes and then raises the first failure in task order.  Only
+    :class:`AlgorithmError` (the wrapper :func:`run_task` produces) is
+    captured; genuine bugs still propagate.
+    """
+    try:
+        return run_task(task, registry=registry)
+    except AlgorithmError as exc:
+        return exc
+
+
+__all__ = ["SolveTask", "run_task", "run_task_captured"]

@@ -18,6 +18,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
 
@@ -180,6 +181,31 @@ class WeightedGraph:
         ) if not all(isinstance(n, int) for n in self._adj) else sorted(
             ((u, v, w) if u <= v else (v, u, w) for u, v, w in self.edges())
         )
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the canonical (node set, edge list) content.
+
+        The digest is computed over the sorted node set and the sorted
+        edge list with weights, so it is stable across node/edge
+        insertion order and multigraph merge history: two graphs with
+        the same nodes and the same merged edge weights hash
+        identically.  This is the identity the execution layer's result
+        cache keys on (:mod:`repro.exec.cache`).
+
+        Nodes are canonicalised via ``repr``, so distinct nodes must
+        have distinct reprs (true for the int/str nodes the generators
+        produce); weights are canonicalised via ``repr(float(w))``,
+        which round-trips exactly.
+        """
+        lines = [f"n:{r}" for r in sorted(repr(u) for u in self._adj)]
+        lines.extend(
+            f"e:{a}|{b}|{w}"
+            for a, b, w in sorted(
+                (min(repr(u), repr(v)), max(repr(u), repr(v)), repr(float(w)))
+                for u, v, w in self.edges()
+            )
+        )
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Cut machinery

@@ -66,6 +66,8 @@ class TestRegistryCompleteness:
             "karger_stein",
             "matula",
             "su",
+            "su_congest",
+            "two_respect",
             "nagamochi_ibaraki",
             "bridges",
             "gomory_hu",
@@ -186,6 +188,28 @@ class TestEverySolverVerifies:
         assert result.matches(graph)
         assert result.metrics is not None
         assert result.metrics.charged_rounds == 0  # all-measured pipeline
+
+    def test_two_respect_is_exact(self):
+        graph = _family("gnp", 14, seed=2)
+        truth = solve(graph, solver="stoer_wagner")
+        result = solve(graph, solver="two_respect")
+        assert result.value == pytest.approx(truth.value)
+        assert result.matches(graph)
+        assert result.extras["crossings"] in (1, 2)
+
+    def test_two_respect_budget_caps_trees(self):
+        graph = _family("grid", 9)
+        result = solve(graph, solver="two_respect", budget=2)
+        assert result.matches(graph)
+
+    def test_su_congest_is_registered_heavy_and_valid(self):
+        spec = default_registry().get("su_congest")
+        assert spec.heavy and spec.randomized and spec.requires_integer_weights
+        graph = _family("cycle", 8)
+        result = solve(graph, solver="su_congest", seed=1, budget=3)
+        assert result.matches(graph)
+        assert result.metrics is not None
+        assert result.extras["rates_tried"] >= 1
 
 
 class TestFacade:

@@ -201,3 +201,43 @@ class TestEdgeKey:
 
     def test_canonical_for_mixed_types(self):
         assert edge_key("b", "a") == ("a", "b")
+
+
+class TestContentHash:
+    def test_stable_hex_digest(self):
+        g = WeightedGraph([(0, 1, 2.0), (1, 2, 1.0)])
+        digest = g.content_hash()
+        assert len(digest) == 64
+        assert digest == g.content_hash()  # pure function of content
+
+    def test_insertion_order_invariant(self):
+        a = WeightedGraph([(0, 1, 2.0), (1, 2, 1.0), (2, 3, 4.0)])
+        b = WeightedGraph([(2, 3, 4.0), (2, 1, 1.0), (1, 0, 2.0)])
+        assert a.content_hash() == b.content_hash()
+
+    def test_multigraph_merge_history_invariant(self):
+        merged = WeightedGraph([(0, 1, 1.0), (0, 1, 1.0), (1, 2, 1.0)])
+        direct = WeightedGraph([(0, 1, 2.0), (1, 2, 1.0)])
+        assert merged.content_hash() == direct.content_hash()
+
+    def test_weight_changes_hash(self):
+        a = WeightedGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        b = WeightedGraph([(0, 1, 1.0), (1, 2, 2.0)])
+        assert a.content_hash() != b.content_hash()
+
+    def test_extra_edge_changes_hash(self):
+        a = WeightedGraph([(0, 1), (1, 2)])
+        b = WeightedGraph([(0, 1), (1, 2), (2, 0)])
+        assert a.content_hash() != b.content_hash()
+
+    def test_isolated_node_changes_hash(self):
+        a = WeightedGraph([(0, 1)])
+        b = WeightedGraph([(0, 1)])
+        b.add_node(2)
+        assert a.content_hash() != b.content_hash()
+
+    def test_integer_and_float_weights_agree(self):
+        # add_edge stores floats; repr(float(w)) canonicalises both spellings.
+        a = WeightedGraph([(0, 1, 1), (1, 2, 3)])
+        b = WeightedGraph([(0, 1, 1.0), (1, 2, 3.0)])
+        assert a.content_hash() == b.content_hash()
