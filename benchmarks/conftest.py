@@ -36,15 +36,20 @@ def run_once(benchmark, fn):
 
 
 def registry_comparison(graph, *, epsilon=None, seed=0, kinds=None,
-                        include_heavy=False, backend=None, cache=None):
+                        names=None, mode="reference", include_heavy=False,
+                        backend=None, cache=None):
     """Ground truth + every applicable registered solver on ``graph``.
 
     The façade-driven benchmark path: ``solve`` pins the registry's
-    ground-truth solver, ``solve_all`` fans out over every applicable
-    registered solver — so a newly registered solver is measured by the
-    harness automatically, with no benchmark edit.  Both calls honour
-    the execution engine's ``backend``/``cache`` knobs, so sweeps can
-    parallelise and replayed instances skip recomputation.
+    ground-truth solver (always in reference mode — it is the oracle),
+    ``solve_all`` fans out over every applicable registered solver —
+    so a newly registered solver is measured by the harness
+    automatically, with no benchmark edit.  ``mode="congest"`` runs the
+    fan-out on the CONGEST simulator (round-accounted solvers only),
+    which is how the round-scaling experiments (E2, E5) go through the
+    registry; ``names`` narrows to an explicit solver selection.  Both
+    calls honour the execution engine's ``backend``/``cache`` knobs, so
+    sweeps can parallelise and replayed instances skip recomputation.
 
     Returns ``(truth_result, results)``; render ``results`` with
     :func:`repro.analysis.format_cut_results` (pass
@@ -57,7 +62,7 @@ def registry_comparison(graph, *, epsilon=None, seed=0, kinds=None,
         graph, solver=registry.ground_truth().name, seed=seed, cache=cache
     )
     results = solve_all(
-        graph, epsilon=epsilon, seed=seed, kinds=kinds,
-        include_heavy=include_heavy, backend=backend, cache=cache,
+        graph, epsilon=epsilon, seed=seed, kinds=kinds, names=names,
+        mode=mode, include_heavy=include_heavy, backend=backend, cache=cache,
     )
     return truth, results

@@ -5,8 +5,11 @@ poly(λ)) — the λ-dependence enters only through the number of packing
 trees, each of which costs one Theorem 2.1 run of O~(√n + D).
 
 Regenerated series: on planted-cut instances with λ = 1..6 (constant n
-and D), run the exact congest-mode algorithm and report λ, trees packed,
-the winning tree's index, total accounted rounds, and the per-tree cost
+and D), run every congest-capable exact solver in the registry
+(via ``conftest.registry_comparison`` with ``mode="congest"`` — a newly
+registered round-accounted solver joins this table automatically)
+against the registry's ground truth, and report λ, trees packed, the
+winning tree's index, total accounted rounds, and the per-tree cost
 normalised by (√n + D).  Shape to match: exactness at every λ, and a
 normalised per-tree cost that is flat in λ — the whole λ-dependence
 lives in the tree count, exactly as the bound states.
@@ -14,12 +17,10 @@ lives in the tree count, exactly as the bound states.
 
 import math
 
-from conftest import run_once
+from conftest import registry_comparison, run_once
 
 from repro.analysis import format_table
-from repro.baselines import stoer_wagner_min_cut
 from repro.graphs import diameter, planted_cut_graph
-from repro.mincut import minimum_cut_exact
 
 SIDES = (24, 24)
 LAMBDAS = (1, 2, 3, 4, 5, 6)
@@ -30,26 +31,32 @@ def _experiment():
     normalised_costs = []
     for lam in LAMBDAS:
         graph = planted_cut_graph(SIDES, lam, seed=lam * 5)
-        truth = stoer_wagner_min_cut(graph).value
-        exact = minimum_cut_exact(graph, mode="congest")
-        assert exact.value == truth, (lam, exact.value, truth)
+        truth, results = registry_comparison(
+            graph, kinds=("exact",), mode="congest", seed=lam
+        )
+        assert results, "no congest-capable exact solver registered"
         n = graph.number_of_nodes
         d = diameter(graph)
-        total = exact.metrics.total_rounds
-        per_tree = total / exact.trees_used
-        normalised = per_tree / (math.sqrt(n) + d)
-        normalised_costs.append(normalised)
-        rows.append(
-            [
-                lam,
-                truth,
-                exact.trees_used,
-                exact.tree_index,
-                total,
-                round(per_tree, 1),
-                round(normalised, 2),
-            ]
-        )
+        for result in results:
+            assert result.value == truth.value, (lam, result.solver)
+            assert result.metrics is not None, (lam, result.solver)
+            trees = result.extras["trees_used"]
+            total = result.metrics.total_rounds
+            per_tree = total / trees
+            normalised = per_tree / (math.sqrt(n) + d)
+            normalised_costs.append(normalised)
+            rows.append(
+                [
+                    lam,
+                    result.solver,
+                    truth.value,
+                    trees,
+                    result.extras["tree_index"],
+                    total,
+                    round(per_tree, 1),
+                    round(normalised, 2),
+                ]
+            )
     return rows, normalised_costs
 
 
@@ -58,6 +65,7 @@ def test_e2_exact_rounds_vs_lambda(benchmark, record_table):
     table = format_table(
         [
             "λ",
+            "solver",
             "min cut",
             "trees packed",
             "winning tree",
@@ -69,7 +77,8 @@ def test_e2_exact_rounds_vs_lambda(benchmark, record_table):
         title=(
             "E2 — exact min cut via tree packing (planted family, n=48)\n"
             "paper: O~((sqrt(n)+D)·poly(λ)); per-tree cost flat, "
-            "λ enters via the tree count"
+            "λ enters via the tree count; registry-driven (every "
+            "congest-capable exact solver)"
         ),
     )
     record_table("E2_exact_rounds_vs_lambda", table)
@@ -78,4 +87,4 @@ def test_e2_exact_rounds_vs_lambda(benchmark, record_table):
     assert max(normalised_costs) <= 2.0 * min(normalised_costs)
     # Exactness was asserted per instance inside the experiment; the
     # winning tree index stays minuscule next to Thorup's λ^7 budget.
-    assert all(row[3] <= 12 for row in rows)
+    assert all(row[4] <= 12 for row in rows)

@@ -8,12 +8,18 @@ topology family (Γ ≈ ℓ ≈ √n parallel paths + low-diameter tree overlay,
 D = O(log n)) and fit measured rounds against √n.  Shape to match: with
 D essentially constant, rounds scale like √n (exponent ≈ 1 against √n),
 i.e. the upper bound meets the lower-bound family's √n behaviour — and
-the algorithm still finds the planted minimum cut exactly.
+the planted minimum cut is recovered exactly.
+
+Ground truth and exactness checks go through
+``conftest.registry_comparison``: the registry's ground-truth solver
+certifies the planted value and every applicable registered exact
+solver must agree on each instance (so a newly registered solver is
+exercised on the hard family automatically).
 """
 
 import math
 
-from conftest import run_once
+from conftest import registry_comparison, run_once
 
 from repro.analysis import fit_power_law, format_table
 from repro.core import one_respecting_min_cut_congest
@@ -22,6 +28,7 @@ from repro.lowerbound import square_instance
 from repro.packing import GreedyTreePacking, one_respects
 
 TARGETS = (64, 144, 256, 576, 1024)
+REGISTRY_CHECK_LIMIT = 144  # full solver fan-out on the smaller instances
 
 
 def _experiment():
@@ -30,6 +37,16 @@ def _experiment():
     for target in TARGETS:
         inst = square_instance(target)
         graph = inst.graph
+        n = graph.number_of_nodes
+        # Registry-driven ground truth: the oracle certifies the planted
+        # value, and every applicable exact solver must reproduce it.
+        solvers_checked = 0
+        if n <= REGISTRY_CHECK_LIMIT:
+            truth, results = registry_comparison(graph, kinds=("exact",))
+            assert abs(truth.value - inst.planted_cut_value) < 1e-9
+            for result in results:
+                assert abs(result.value - truth.value) < 1e-9, result.solver
+            solvers_checked = len(results)
         # Use a packing tree that 1-respects the planted cut so the run
         # must recover the planted value exactly.
         packing = GreedyTreePacking(graph)
@@ -42,13 +59,20 @@ def _experiment():
             tree = random_spanning_tree(graph, seed=1)
         outcome = one_respecting_min_cut_congest(graph, tree)
         found_exact = abs(outcome.best_value - inst.planted_cut_value) < 1e-9
-        n = graph.number_of_nodes
         d = diameter(graph)
         measured = outcome.metrics.measured_rounds
         xs.append(math.sqrt(n))
         ys.append(measured)
         rows.append(
-            [n, inst.paths, d, measured, round(measured / math.sqrt(n), 2), found_exact]
+            [
+                n,
+                inst.paths,
+                d,
+                measured,
+                round(measured / math.sqrt(n), 2),
+                found_exact,
+                solvers_checked or "-",
+            ]
         )
     fit = fit_power_law(xs, ys)
     return rows, fit
@@ -57,7 +81,15 @@ def _experiment():
 def test_e5_lower_bound_family(benchmark, record_table):
     rows, fit = run_once(benchmark, _experiment)
     table = format_table(
-        ["n", "Γ=ℓ", "D", "measured rounds", "rounds/sqrt(n)", "exact cut found"],
+        [
+            "n",
+            "Γ=ℓ",
+            "D",
+            "measured rounds",
+            "rounds/sqrt(n)",
+            "exact cut found",
+            "registry solvers agreeing",
+        ],
         rows,
         title=(
             "E5 — Das Sarma et al. hard family (low D, information must "
@@ -73,3 +105,5 @@ def test_e5_lower_bound_family(benchmark, record_table):
     assert 0.6 <= fit.exponent <= 1.5
     # The planted cut is recovered whenever the tree 1-respects it.
     assert all(row[5] for row in rows)
+    # The registry fan-out ran on the smaller instances.
+    assert any(isinstance(row[6], int) and row[6] >= 2 for row in rows)

@@ -1,0 +1,129 @@
+"""P1 — CONGEST engine throughput: indexed arrays vs the legacy dict loop.
+
+Not a paper claim: this is the simulator's own performance trajectory.
+PR 3 rewrote :meth:`CongestNetwork.run_phase` on the cached
+:class:`~repro.graphs.index.GraphIndex` — slot-based per-directed-edge
+FIFOs, activation-ordered busy-edge lists, reusable inboxes, a
+construction-time message-size audit — with the seed's dict loop
+preserved verbatim in :class:`LegacyCongestNetwork` as the reference.
+
+Regenerated series: the E1 workload (the full distributed 1-respecting
+min-cut of Theorem 2.1) across the standard topology families, run on
+both engines.  Both produce identical rounds, messages, and cut values
+(asserted here and bit-exactly in tests/test_congest_engine_equivalence
+.py); the table records wall time, rounds/sec, and messages/sec per
+engine.  Target: ≥2× rounds/sec over the legacy reference.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.congest import CongestNetwork, LegacyCongestNetwork
+from repro.core import one_respecting_min_cut_congest
+from repro.graphs import build_family, random_spanning_tree
+
+FAMILIES = ("gnp", "grid", "regular")
+SIZES = (324, 625)
+REPEATS = 3
+
+
+def _timed_solve(engine, graph, tree):
+    """Best-of-REPEATS wall time for one E1 solve on ``engine``."""
+    best = float("inf")
+    outcome = None
+    for _ in range(REPEATS):
+        network = engine(graph)
+        started = time.perf_counter()
+        result = one_respecting_min_cut_congest(graph, tree, network=network)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best, outcome = elapsed, result
+    return best, outcome
+
+
+def _experiment():
+    rows = []
+    legacy_total = indexed_total = 0.0
+    for family in FAMILIES:
+        for n in SIZES:
+            graph = build_family(family, n, seed=2)
+            tree = random_spanning_tree(graph, seed=2)
+            legacy_time, legacy_out = _timed_solve(
+                LegacyCongestNetwork, graph, tree
+            )
+            indexed_time, indexed_out = _timed_solve(
+                CongestNetwork, graph, tree
+            )
+            # Same protocol, same schedule, same answer — only the loop
+            # differs.
+            assert indexed_out.best_value == legacy_out.best_value
+            assert (
+                indexed_out.metrics.measured_rounds
+                == legacy_out.metrics.measured_rounds
+            )
+            assert (
+                indexed_out.metrics.total_messages
+                == legacy_out.metrics.total_messages
+            )
+            rounds = indexed_out.metrics.measured_rounds
+            messages = indexed_out.metrics.total_messages
+            legacy_total += legacy_time
+            indexed_total += indexed_time
+            rows.append(
+                [
+                    family,
+                    graph.number_of_nodes,
+                    rounds,
+                    messages,
+                    round(legacy_time, 3),
+                    round(indexed_time, 3),
+                    int(rounds / legacy_time),
+                    int(rounds / indexed_time),
+                    int(messages / indexed_time),
+                    round(legacy_time / indexed_time, 2),
+                ]
+            )
+    return rows, legacy_total / indexed_total
+
+
+def test_p1_engine_throughput(benchmark, record_table):
+    rows, aggregate_speedup = run_once(benchmark, _experiment)
+    table = format_table(
+        [
+            "family",
+            "n",
+            "rounds",
+            "messages",
+            "legacy s",
+            "indexed s",
+            "legacy rounds/s",
+            "indexed rounds/s",
+            "indexed msgs/s",
+            "speedup",
+        ],
+        rows,
+        title=(
+            "P1 — engine throughput on the E1 workload "
+            "(Theorem 2.1, full distributed run)\n"
+            "indexed GraphIndex engine vs preserved legacy dict loop; "
+            "identical rounds/messages/outputs"
+        ),
+    )
+    table += f"\n\naggregate speedup (sum legacy / sum indexed): {aggregate_speedup:.2f}x"
+    record_table("P1_engine_throughput", table)
+
+    # Identity of results is asserted per instance above and is always
+    # enforced.  The speedup floor is wall-clock and therefore only
+    # meaningful on a quiet machine: it is skipped when benchmark timing
+    # is disabled (the CI smoke leg) *and* on shared CI runners (where
+    # the tier-1 jobs collect this file with timing enabled but load is
+    # unpredictable).  The target is 2x (see committed results); the
+    # hard floor leaves headroom for local load noise while still
+    # catching a regression to parity with the legacy loop.
+    if not benchmark.disabled and not os.environ.get("CI"):
+        assert aggregate_speedup >= 1.4
+        # Every family must individually beat the legacy loop.
+        assert all(row[-1] > 1.0 for row in rows)

@@ -31,6 +31,7 @@ EXPERIMENT_ORDER = [
     "A2_pipelining_ablation",
     "A3_respect_ablation",
     "A4_certified_bounds",
+    "P1_engine_throughput",
 ]
 
 HEADER = (

@@ -78,9 +78,16 @@ def solve(
         CONGEST execution with round accounting, for solvers that
         support it).
     seed / budget:
-        Determinism knob and effort cap (packing trees, contraction
-        repetitions, sampling rate steps — per-solver meaning is listed
-        in the registry summary).
+        ``seed`` is the determinism knob.  ``budget`` has two readings:
+        with a *named* solver it is that solver's effort cap (packing
+        trees, contraction repetitions, sampling rate steps — per-solver
+        meaning is listed in the registry summary); with
+        ``solver="auto"`` it is an **expected-cost ceiling** in the
+        registry's cost units — the policy consults each candidate's
+        registered cost model and skips solvers too expensive for this
+        instance before running anything (falling back to the cheapest
+        candidate when nothing fits), and the chosen solver then runs at
+        its default effort.
     cache:
         Optional :class:`repro.exec.ResultCache`.  The key covers the
         graph content hash and every knob (resolved solver name, epsilon,
@@ -94,7 +101,11 @@ def solve(
     """
     registry = registry if registry is not None else default_registry()
     graph.require_connected()
-    spec = _resolve_spec(registry, graph, solver, mode=mode, epsilon=epsilon)
+    spec = _resolve_spec(
+        registry, graph, solver, mode=mode, epsilon=epsilon, budget=budget
+    )
+    if solver == "auto":
+        budget = None  # consumed by selection; the pick runs at default effort
     key = None
     if cache is not None:
         key = CacheKey.for_solve(
@@ -199,6 +210,11 @@ def solve_batch(
     ``"thread"``, ``"process"``; default from ``$REPRO_BACKEND``) never
     changes the results, only the wall time.
 
+    With ``solver="auto"``, ``budget`` is the expected-cost ceiling the
+    per-graph selection trades on (see :func:`solve`) and is not
+    forwarded to the chosen solvers; a named solver receives it as its
+    effort cap, as before.
+
     ``graphs`` may be any iterable (it is materialised exactly once), and
     a failure anywhere raises :class:`~repro.errors.AlgorithmError`
     naming the offending graph index instead of bubbling a bare
@@ -210,12 +226,14 @@ def solve_batch(
     and recomputes.
     """
     registry = registry if registry is not None else default_registry()
+    task_budget = None if solver == "auto" else budget
     tasks = []
     for index, graph in enumerate(graphs):
         try:
             graph.require_connected()
             spec = _resolve_spec(
-                registry, graph, solver, mode=mode, epsilon=epsilon
+                registry, graph, solver, mode=mode, epsilon=epsilon,
+                budget=budget,
             )
         except ReproError as exc:
             raise AlgorithmError(f"solve_batch: graph #{index}: {exc}") from exc
@@ -226,7 +244,7 @@ def solve_batch(
                 epsilon=epsilon,
                 mode=mode,
                 seed=seed + index,
-                budget=budget,
+                budget=task_budget,
                 options=tuple(sorted(options.items())),
                 label=f"graph #{index}",
             )
@@ -241,10 +259,17 @@ def _resolve_spec(
     *,
     mode: str,
     epsilon: Optional[float],
+    budget: Optional[float] = None,
 ) -> SolverSpec:
-    """Resolve ``solver`` (a name or ``"auto"``) to an applicable spec."""
+    """Resolve ``solver`` (a name or ``"auto"``) to an applicable spec.
+
+    ``budget`` only steers the auto policy (expected-cost ceiling); a
+    named solver receives it as its effort cap instead.
+    """
     if solver == "auto":
-        return registry.select_auto(graph, mode=mode, epsilon=epsilon)
+        return registry.select_auto(
+            graph, mode=mode, epsilon=epsilon, budget=budget
+        )
     spec = registry.get(solver)
     reason = spec.inapplicable_reason(graph, mode=mode, epsilon=epsilon)
     if reason is not None:

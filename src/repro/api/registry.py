@@ -62,6 +62,19 @@ class SolverSpec:
     heavy: bool = False
     ground_truth: bool = False
     priority: int = 0
+    #: Optional ``(n, m) -> float`` estimating the solver's cost on an
+    #: n-node, m-edge graph in **cost units** (order-of-magnitude
+    #: elementary-operation counts for a default-effort run).  Units are
+    #: only meaningful relative to other registered models; the auto
+    #: policy compares them against the caller's ``budget`` ceiling.
+    cost_model: Optional[Callable[[int, int], float]] = None
+
+    def expected_cost(self, graph: WeightedGraph) -> Optional[float]:
+        """Estimated cost of running this solver on ``graph`` (in cost
+        units), or ``None`` when no model is registered."""
+        if self.cost_model is None:
+            return None
+        return self.cost_model(graph.number_of_nodes, graph.number_of_edges)
 
     def inapplicable_reason(
         self,
@@ -208,8 +221,9 @@ class SolverRegistry:
         graph: WeightedGraph,
         mode: str = "reference",
         epsilon: Optional[float] = None,
+        budget: Optional[float] = None,
     ) -> SolverSpec:
-        """The ``solver="auto"`` policy: pick by capability.
+        """The ``solver="auto"`` policy: pick by capability and budget.
 
         With ``epsilon`` set, approximate solvers are preferred (the
         caller asked for a quality/speed trade-off); otherwise exact
@@ -217,6 +231,14 @@ class SolverRegistry:
         wins, ties broken by descending ``priority``.  Heavy solvers
         (full simulated pipelines) are never auto-picked — name them
         explicitly.
+
+        ``budget`` is an expected-cost ceiling in the registry's cost
+        units (see :attr:`SolverSpec.cost_model`): candidates whose
+        estimated cost on ``graph`` exceeds it are skipped *before*
+        running anything; candidates without a cost model are never
+        skipped.  When every modelled candidate is over budget, the
+        cheapest applicable one is chosen — the policy degrades quality,
+        it never refuses.
         """
         preferred = ("approx",) if epsilon is not None else ("exact",)
         candidates = self.applicable(
@@ -232,6 +254,19 @@ class SolverRegistry:
                 f"no applicable solver for n={graph.number_of_nodes}, "
                 f"mode={mode!r}, epsilon={epsilon!r}"
             )
+        if budget is not None:
+            costs = {spec.name: spec.expected_cost(graph) for spec in candidates}
+            affordable = [
+                spec
+                for spec in candidates
+                if costs[spec.name] is None or costs[spec.name] <= budget
+            ]
+            if affordable:
+                candidates = affordable
+            else:
+                # Everything modelled is over budget (and unmodelled
+                # specs would have been affordable): best effort.
+                return min(candidates, key=lambda s: costs[s.name])
         return min(candidates, key=lambda s: (s.guarantee_rank, -s.priority))
 
 

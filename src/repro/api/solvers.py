@@ -47,6 +47,74 @@ def _eps(epsilon: Optional[float]) -> float:
     return DEFAULT_EPSILON if epsilon is None else epsilon
 
 
+def _lg(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+# ----------------------------------------------------------------------
+# Expected-cost models
+# ----------------------------------------------------------------------
+# Order-of-magnitude elementary-operation estimates for a default-effort
+# run on an (n, m) graph — the ``cost_model`` capability metadata.  The
+# units are relative (cross-solver comparable), not wall seconds: the
+# auto policy compares them against the caller's ``budget`` ceiling to
+# skip solvers that are too expensive for an instance *before* running
+# anything (see SolverRegistry.select_auto).
+
+def _cost_packing(n: int, m: int) -> float:
+    # adaptive schedule: ~(2 lg n + 8) trees, each an MST + subtree scan
+    return (2 * _lg(n) + 8) * (m * _lg(n) + n)
+
+
+def _cost_stoer_wagner(n: int, m: int) -> float:
+    return n * (m + n)
+
+
+def _cost_brute_force(n: int, m: int) -> float:
+    return float(2 ** min(n, 40)) * m
+
+
+def _cost_nagamochi(n: int, m: int) -> float:
+    return n * m
+
+
+def _cost_gomory_hu(n: int, m: int) -> float:
+    return n * n * m
+
+
+def _cost_karger(n: int, m: int) -> float:
+    return 4 * n * m  # default repetitions ~4n, O(m) per contraction
+
+
+def _cost_karger_stein(n: int, m: int) -> float:
+    return _lg(n) ** 2 * n * n
+
+
+def _cost_matula(n: int, m: int) -> float:
+    return m * _lg(n)
+
+
+def _cost_su(n: int, m: int) -> float:
+    return 8 * m * _lg(n)
+
+
+def _cost_approx(n: int, m: int) -> float:
+    return m * _lg(n) ** 2 + n * _lg(n)
+
+
+def _cost_two_respect(n: int, m: int) -> float:
+    return 12 * (n * n + m)
+
+
+def _cost_simulated(n: int, m: int) -> float:
+    # full CONGEST simulation: every round touches every busy edge
+    return n ** 1.5 * m
+
+
+def _cost_bridges(n: int, m: int) -> float:
+    return n + m
+
+
 # ----------------------------------------------------------------------
 # The paper's algorithms
 # ----------------------------------------------------------------------
@@ -60,6 +128,7 @@ def _eps(epsilon: Optional[float]) -> float:
     implementation=minimum_cut_exact,
     summary="Thorup tree packing + per-tree 1-respecting cuts (Theorem 2.1)",
     supports_congest=True,
+    cost_model=_cost_packing,
     priority=100,
 )
 def _solve_exact(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
@@ -79,6 +148,7 @@ def _solve_exact(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
     summary="all-measured pipeline: Boruvka packing + Theorem 2.1, no charged rounds",
     supports_congest=True,
     heavy=True,
+    cost_model=_cost_simulated,
     priority=60,
 )
 def _solve_exact_congest_full(graph, *, epsilon=None, mode="reference", seed=0,
@@ -100,6 +170,7 @@ def _solve_exact_congest_full(graph, *, epsilon=None, mode="reference", seed=0,
     requires_integer_weights=True,
     randomized=True,
     max_epsilon=1.0,
+    cost_model=_cost_approx,
     priority=100,
 )
 def _solve_approx(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
@@ -126,6 +197,7 @@ def _solve_approx(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
     display="2-respecting packing (Karger)",
     implementation=minimum_cut_exact_two_respect,
     summary="greedy packing + per-tree 2-respecting minimisation; budget = tree cap",
+    cost_model=_cost_two_respect,
     priority=70,
 )
 def _solve_two_respect(graph, *, epsilon=None, mode="reference", seed=0,
@@ -156,6 +228,7 @@ def _solve_two_respect(graph, *, epsilon=None, mode="reference", seed=0,
     implementation=stoer_wagner_min_cut,
     summary="n-1 maximum-adjacency phases; the ground-truth oracle",
     ground_truth=True,
+    cost_model=_cost_stoer_wagner,
     priority=90,
 )
 def _solve_stoer_wagner(graph, *, epsilon=None, mode="reference", seed=0,
@@ -172,6 +245,7 @@ def _solve_stoer_wagner(graph, *, epsilon=None, mode="reference", seed=0,
     implementation=brute_force_min_cut,
     summary=f"enumerate every cut (n <= {MAX_BRUTE_FORCE_NODES})",
     max_nodes=MAX_BRUTE_FORCE_NODES,
+    cost_model=_cost_brute_force,
     priority=10,
 )
 def _solve_brute_force(graph, *, epsilon=None, mode="reference", seed=0,
@@ -187,6 +261,7 @@ def _solve_brute_force(graph, *, epsilon=None, mode="reference", seed=0,
     display="Nagamochi-Ibaraki + SW",
     implementation=sparse_certificate,
     summary="sparse k-certificate (k = min degree + 1), then Stoer-Wagner on it",
+    cost_model=_cost_nagamochi,
     priority=50,
 )
 def _solve_nagamochi_ibaraki(graph, *, epsilon=None, mode="reference", seed=0,
@@ -217,6 +292,7 @@ def _solve_nagamochi_ibaraki(graph, *, epsilon=None, mode="reference", seed=0,
     display="Gomory-Hu tree",
     implementation=gomory_hu_min_cut,
     summary="cut tree from n-1 max flows; lightest tree edge is the min cut",
+    cost_model=_cost_gomory_hu,
     priority=40,
 )
 def _solve_gomory_hu(graph, *, epsilon=None, mode="reference", seed=0,
@@ -238,6 +314,7 @@ def _solve_gomory_hu(graph, *, epsilon=None, mode="reference", seed=0,
     implementation=karger_min_cut,
     summary="random contraction; budget = repetitions (default capped for speed)",
     randomized=True,
+    cost_model=_cost_karger,
     priority=20,
 )
 def _solve_karger(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
@@ -261,6 +338,7 @@ def _solve_karger(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
     implementation=karger_stein_min_cut,
     summary="recursive contraction; budget = repetitions",
     randomized=True,
+    cost_model=_cost_karger_stein,
     priority=30,
 )
 def _solve_karger_stein(graph, *, epsilon=None, mode="reference", seed=0,
@@ -288,6 +366,7 @@ def _solve_karger_stein(graph, *, epsilon=None, mode="reference", seed=0,
     display="Matula (2+eps) [GK13 analog]",
     implementation=matula_approx_min_cut,
     summary="NI-certificate contraction; centralized Ghaffari-Kuhn analog",
+    cost_model=_cost_matula,
     priority=50,
 )
 def _solve_matula(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
@@ -305,6 +384,7 @@ def _solve_matula(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
     summary="sampling + bridge finding (SPAA 2014 concurrent result); budget = rate steps",
     requires_integer_weights=True,
     randomized=True,
+    cost_model=_cost_su,
     priority=30,
 )
 def _solve_su(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
@@ -325,6 +405,7 @@ def _solve_su(graph, *, epsilon=None, mode="reference", seed=0, budget=None,
     requires_integer_weights=True,
     randomized=True,
     heavy=True,
+    cost_model=_cost_simulated,
     priority=10,
 )
 def _solve_su_congest(graph, *, epsilon=None, mode="reference", seed=0,
@@ -350,6 +431,7 @@ def _solve_su_congest(graph, *, epsilon=None, mode="reference", seed=0,
     display="bridges (upper bound)",
     implementation=find_bridges,
     summary="best bridge cut if any, else lightest singleton — a certified upper bound",
+    cost_model=_cost_bridges,
     priority=0,
 )
 def _solve_bridges(graph, *, epsilon=None, mode="reference", seed=0, budget=None,

@@ -319,13 +319,23 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
             yn[spec.supports_congest],
             yn[spec.randomized],
             spec.max_nodes if spec.max_nodes is not None else "-",
+            # Expected-cost model sampled at a reference instance — the
+            # relative ordering `solve(..., budget=...)` trades on.
+            # Solvers capped below the reference size show "-": their
+            # cost there is not a number anyone can act on.
+            int(spec.cost_model(100, 300))
+            if spec.cost_model and (spec.max_nodes is None or spec.max_nodes >= 100)
+            else "-",
             spec.summary,
         ]
         for spec in registry
     ]
     print(
         format_table(
-            ["name", "kind", "guarantee", "congest", "random", "max n", "summary"],
+            [
+                "name", "kind", "guarantee", "congest", "random", "max n",
+                "cost@(100,300)", "summary",
+            ],
             rows,
             title=f"{len(registry)} registered solvers (use with --solver NAME)",
         )

@@ -6,6 +6,7 @@ word audit), persistent node memory across phases, and round/message
 metrics distinguishing *measured* from *charged* costs.
 """
 
+from .legacy import LegacyCongestNetwork
 from .message import Message, check_message_size, payload_words
 from .metrics import PhaseMetrics, RunMetrics
 from .network import CongestNetwork, PhaseResult, DEFAULT_MAX_WORDS
@@ -19,6 +20,7 @@ __all__ = [
     "PhaseMetrics",
     "RunMetrics",
     "CongestNetwork",
+    "LegacyCongestNetwork",
     "PhaseResult",
     "DEFAULT_MAX_WORDS",
     "Inbox",

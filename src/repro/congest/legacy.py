@@ -1,0 +1,182 @@
+"""The pre-index CONGEST engine loop, preserved verbatim.
+
+PR 3 rewrote :meth:`repro.congest.network.CongestNetwork.run_phase` on
+flat arrays indexed by directed-edge id (see that module's docstring).
+This module keeps the original dict-based loop — per-edge FIFOs keyed on
+``(u, v)`` tuples, a fresh ``inboxes`` dict every round — behind the
+same public API, for two purposes:
+
+* the **P1 throughput benchmark** measures the indexed engine against
+  this reference on identical workloads (rounds/sec, messages/sec);
+* the **equivalence tests** assert that both engines produce identical
+  :class:`~repro.congest.metrics.PhaseMetrics` and bit-identical node
+  outputs, protocol for protocol — the refactor's correctness argument.
+
+Do not grow features here; this loop is intentionally frozen.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from ..errors import BandwidthExceededError, CongestError, RoundLimitExceededError
+from ..graphs.graph import WeightedGraph
+from .message import Message
+from .metrics import PhaseMetrics
+from .network import (
+    DEFAULT_MAX_WORDS,
+    CongestNetwork,
+    NodeId,
+    PhaseResult,
+    ProgramFactory,
+)
+from .node import NodeContext, NodeProgram
+
+
+def _seed_payload_words(value: Any) -> int:
+    """The seed's recursive word count, preserved verbatim.
+
+    PR 3 replaced this with a type-dispatch fast path plus a size cached
+    on the frozen message; the legacy loop keeps the original
+    per-access recount so the benchmark reference carries the seed's
+    true per-hop cost.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (int, float, str, bool)):
+        return 1
+    if isinstance(value, (tuple, list, frozenset)):
+        return sum(_seed_payload_words(item) for item in value)
+    raise BandwidthExceededError(
+        f"payload element of type {type(value).__name__} has no defined "
+        f"CONGEST size; send scalars or tuples of scalars"
+    )
+
+
+class LegacyCongestNetwork(CongestNetwork):
+    """Drop-in :class:`CongestNetwork` running the original dict loop."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        max_words_per_message: int = DEFAULT_MAX_WORDS,
+        strict: bool = True,
+        tracer=None,
+    ) -> None:
+        super().__init__(
+            graph,
+            max_words_per_message=max_words_per_message,
+            strict=strict,
+            tracer=tracer,
+        )
+        # The original engine rebuilt per-node neighbour lists and
+        # weight dicts from the adjacency map at construction time.
+        self._dict_neighbors: dict[NodeId, list[NodeId]] = {
+            u: graph.neighbors(u) for u in self._nodes
+        }
+        self._dict_weights: dict[NodeId, dict[NodeId, float]] = {
+            u: {v: graph.weight(u, v) for v in self._dict_neighbors[u]}
+            for u in self._nodes
+        }
+
+    def run_phase(
+        self,
+        name: str,
+        program_factory: ProgramFactory,
+        max_rounds: Optional[int] = None,
+    ) -> PhaseResult:
+        """The original tuple-keyed FIFO loop (see module docstring)."""
+        limit = max_rounds if max_rounds is not None else 2_000_000
+        phase = PhaseMetrics(name=name)
+        outputs: dict[NodeId, dict[str, Any]] = {u: {} for u in self._nodes}
+        contexts: dict[NodeId, NodeContext] = {}
+        programs: dict[NodeId, NodeProgram] = {}
+        for u in self._nodes:
+            ctx = NodeContext(
+                node=u,
+                neighbors=self._dict_neighbors[u],
+                weights=self._dict_weights[u],
+                network_size=len(self._nodes),
+                memory=self.memory[u],
+                outputs=outputs[u],
+            )
+            contexts[u] = ctx
+            programs[u] = program_factory(u)
+
+        fifos: dict[tuple[NodeId, NodeId], deque[Message]] = {}
+        tick_set: set[NodeId] = set()
+
+        # The seed computed a message's word size on every access (the
+        # `Message.words` property recounted the payload); PR 3 made it
+        # a construction-time constant.  The reference loop recounts
+        # explicitly to preserve the per-hop cost it is benchmarked
+        # against.
+        def flush_outbox(u: NodeId) -> None:
+            for v, msg in contexts[u]._drain():
+                if self.strict:
+                    words = _seed_payload_words(msg.payload)
+                    if words > self.max_words_per_message:
+                        raise BandwidthExceededError(
+                            f"message kind={msg.kind!r} carries {words} "
+                            f"words, exceeding the per-message budget of "
+                            f"{self.max_words_per_message} words "
+                            f"(one word models O(log n) bits)"
+                        )
+                queue = fifos.get((u, v))
+                if queue is None:
+                    queue = deque()
+                    fifos[(u, v)] = queue
+                queue.append(msg)
+                if len(queue) > phase.max_edge_backlog:
+                    phase.max_edge_backlog = len(queue)
+            if contexts[u]._take_tick():
+                tick_set.add(u)
+
+        # Round 0: on_start for everyone.
+        for u in self._nodes:
+            programs[u].on_start(contexts[u])
+            flush_outbox(u)
+
+        rounds = 0
+        while fifos or tick_set:
+            if rounds >= limit:
+                raise RoundLimitExceededError(
+                    f"phase {name!r} did not reach quiescence within "
+                    f"{limit} rounds ({len(fifos)} busy edges)"
+                )
+            rounds += 1
+            # 1. Delivery: one message per directed edge.
+            inboxes: dict[NodeId, list[tuple[NodeId, Message]]] = {}
+            emptied: list[tuple[NodeId, NodeId]] = []
+            for (src, dst), queue in fifos.items():
+                msg = queue.popleft()
+                phase.merge_message(_seed_payload_words(msg.payload))
+                if self.tracer is not None:
+                    self.tracer.record(name, rounds, src, dst, msg)
+                inboxes.setdefault(dst, []).append((src, msg))
+                if not queue:
+                    emptied.append((src, dst))
+            for key in emptied:
+                del fifos[key]
+            # 2. Computation for receivers and tick requesters.
+            active = set(inboxes) | tick_set
+            tick_set = set()
+            for u in active:
+                ctx = contexts[u]
+                ctx.round = rounds
+                programs[u].on_round(ctx, inboxes.get(u, []))
+                flush_outbox(u)
+
+        phase.rounds = rounds
+        for u in self._nodes:
+            programs[u].on_stop(contexts[u])
+            if contexts[u]._outbox:
+                raise CongestError(
+                    f"node {u!r} attempted to send from on_stop in phase {name!r}"
+                )
+        self.metrics.add_phase(phase)
+        return PhaseResult(phase, outputs)
+
+
+__all__ = ["LegacyCongestNetwork"]

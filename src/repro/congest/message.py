@@ -13,7 +13,7 @@ breaking the model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import BandwidthExceededError
@@ -32,15 +32,34 @@ class Message:
     payload:
         Tuple of scalars (ints, floats, strings, small tuples).  Charged
         one word per scalar, recursively.
+    words:
+        Size of the payload in words, computed once at construction (the
+        payload of a frozen message never changes).  The engine reads
+        this both at the strict-mode send audit and at delivery
+        (metrics) — previously two full recursive recounts per hop; a
+        multicast message shared across many edges pays the count
+        exactly once.
     """
 
     kind: str
     payload: tuple = ()
+    words: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def words(self) -> int:
-        """Size of the payload in words (see module docstring)."""
-        return payload_words(self.payload)
+    def __post_init__(self) -> None:
+        # Flat tuples of scalars are the overwhelmingly common payload;
+        # count them inline and only recurse for nested containers.
+        total = 0
+        for item in self.payload:
+            if type(item) in _SCALAR_TYPES:
+                total += 1
+            elif item is not None:
+                total += payload_words(item)
+        object.__setattr__(self, "words", total)
+
+
+#: Scalar payload types charged exactly one word (exact type match is the
+#: fast path; subclasses fall through to the isinstance check below).
+_SCALAR_TYPES = frozenset((int, float, str, bool))
 
 
 def payload_words(value: Any) -> int:
@@ -52,10 +71,18 @@ def payload_words(value: Any) -> int:
     """
     if value is None:
         return 0
-    if isinstance(value, (int, float, str, bool)):
+    if type(value) in _SCALAR_TYPES:
         return 1
     if isinstance(value, (tuple, list, frozenset)):
-        return sum(payload_words(item) for item in value)
+        total = 0
+        for item in value:
+            if type(item) in _SCALAR_TYPES:
+                total += 1
+            elif item is not None:
+                total += payload_words(item)
+        return total
+    if isinstance(value, (int, float, str)):
+        return 1
     raise BandwidthExceededError(
         f"payload element of type {type(value).__name__} has no defined "
         f"CONGEST size; send scalars or tuples of scalars"

@@ -1,7 +1,7 @@
 """The synchronous CONGEST engine.
 
-The engine owns, for every directed edge ``(u, v)``, a FIFO of pending
-messages.  A round consists of:
+The engine owns, for every directed edge, a FIFO of pending messages.
+A round consists of:
 
 1. **delivery** — the head message (if any) of every directed-edge FIFO
    is removed and placed in the receiver's inbox; at most one message
@@ -21,6 +21,33 @@ A phase ends at **quiescence**: no FIFO holds a message and no node
 requested a tick.  Phases of a larger algorithm share each node's
 persistent ``memory`` dict, modelling local storage across phases (the
 phase barrier itself is charged by drivers as O(D) where relevant).
+
+Engine internals (PR 3)
+-----------------------
+The hot loop runs on the graph's cached
+:class:`~repro.graphs.index.GraphIndex` rather than on dicts keyed by
+``(u, v)`` tuples:
+
+* every directed edge has an integer id; its FIFO lives in a flat slot
+  array, and the set of busy edges is an **activation-ordered list** of
+  ids (exactly mirroring the old dict's insertion-order iteration, so
+  delivery order — and therefore every protocol's output — is
+  bit-identical to the legacy loop);
+* inboxes are per-node reusable lists indexed by int node id, cleared
+  after each computation step instead of reallocated per round;
+* the per-round active set is built from int receiver ids and the tick
+  set.
+
+The per-node programming API (:class:`~repro.congest.node.NodeContext`
+/ :class:`~repro.congest.node.NodeProgram`) is unchanged; node programs
+still see original node identifiers everywhere.  The previous dict-based
+loop is preserved verbatim in :mod:`repro.congest.legacy` as the
+benchmark reference (P1) and the equivalence-test oracle.
+
+One behavioural note: inbox lists are owned by the engine and are only
+valid for the duration of the ``on_round`` call — programs must not
+store a reference to the inbox itself (storing the messages is fine).
+No library program does.
 """
 
 from __future__ import annotations
@@ -81,20 +108,38 @@ class CongestNetwork:
         self.strict = strict
         self.tracer = tracer
         self.max_words_per_message = max_words_per_message
-        self._nodes: list[NodeId] = graph.nodes
-        self._neighbors: dict[NodeId, list[NodeId]] = {
-            u: graph.neighbors(u) for u in self._nodes
-        }
-        self._weights: dict[NodeId, dict[NodeId, float]] = {
-            u: {v: graph.weight(u, v) for v in self._neighbors[u]}
-            for u in self._nodes
-        }
+        index = graph.index()
+        self.index = index
+        self._nodes: tuple[NodeId, ...] = index.nodes
+        # Original-id views shared with (and cached on) the graph index;
+        # node programs read these through their NodeContext.
+        self._neighbors = index.neighbor_lists
+        self._weights = index.weight_maps
+        # Per-directed-edge source node in original-id space (inbox
+        # entries and tracer events carry original identifiers).
+        self._edge_src_node = [index.nodes[i] for i in index.edge_source]
         self.memory: dict[NodeId, dict[str, Any]] = {u: {} for u in self._nodes}
         self.metrics = RunMetrics()
+        # Reusable per-node contexts: rebound (memory/outputs/round) at
+        # the start of every phase instead of reconstructed.
+        n = len(self._nodes)
+        self._contexts: list[NodeContext] = [
+            NodeContext(
+                node=u,
+                neighbors=self._neighbors[i],
+                weights=self._weights[i],
+                network_size=n,
+                memory=self.memory[u],
+                outputs={},
+            )
+            for i, u in enumerate(self._nodes)
+        ]
 
     @property
-    def nodes(self) -> list[NodeId]:
-        return list(self._nodes)
+    def nodes(self) -> tuple[NodeId, ...]:
+        """All nodes, in index order (a cached tuple — hot loops may
+        read this property per iteration without paying a copy)."""
+        return self._nodes
 
     @property
     def size(self) -> int:
@@ -120,79 +165,134 @@ class CongestNetwork:
         """
         limit = max_rounds if max_rounds is not None else DEFAULT_ROUND_LIMIT
         phase = PhaseMetrics(name=name)
-        outputs: dict[NodeId, dict[str, Any]] = {u: {} for u in self._nodes}
-        contexts: dict[NodeId, NodeContext] = {}
-        programs: dict[NodeId, NodeProgram] = {}
-        for u in self._nodes:
-            ctx = NodeContext(
-                node=u,
-                neighbors=self._neighbors[u],
-                weights=self._weights[u],
-                network_size=len(self._nodes),
-                memory=self.memory[u],
-                outputs=outputs[u],
-            )
-            contexts[u] = ctx
-            programs[u] = program_factory(u)
+        index = self.index
+        nodes = self._nodes
+        n = len(nodes)
+        node_id = index.node_id
+        edge_id_maps = index.edge_id_maps
+        adj_target = index.adj_target
+        edge_src_node = self._edge_src_node
+        strict = self.strict
+        max_words = self.max_words_per_message
+        tracer = self.tracer
 
-        fifos: dict[tuple[NodeId, NodeId], deque[Message]] = {}
-        tick_set: set[NodeId] = set()
+        outputs: dict[NodeId, dict[str, Any]] = {u: {} for u in nodes}
+        contexts = self._contexts
+        programs: list[NodeProgram] = []
+        for i, u in enumerate(nodes):
+            ctx = contexts[i]
+            ctx.memory = self.memory[u]
+            ctx._outputs = outputs[u]
+            ctx.round = 0
+            ctx._outbox.clear()
+            ctx._tick_requested = False
+            programs.append(program_factory(u))
 
-        def flush_outbox(u: NodeId) -> None:
-            for v, msg in contexts[u]._drain():
-                if self.strict:
-                    check_message_size(msg, self.max_words_per_message)
-                queue = fifos.get((u, v))
-                if queue is None:
-                    queue = deque()
-                    fifos[(u, v)] = queue
-                queue.append(msg)
-                if len(queue) > phase.max_edge_backlog:
-                    phase.max_edge_backlog = len(queue)
-            if contexts[u]._take_tick():
-                tick_set.add(u)
+        # Slot-based message buffers: one FIFO per directed edge id,
+        # created lazily; `active_edges` lists busy edge ids in
+        # activation order (append on first enqueue, compact on empty),
+        # which reproduces the legacy dict's insertion-order delivery.
+        queues: list[Optional[deque[Message]]] = [None] * index.directed_edge_count
+        active_edges: list[int] = []
+        inboxes: list[list[tuple[NodeId, Message]]] = [[] for _ in range(n)]
+        receivers: list[int] = []
+        tick_nodes: set[NodeId] = set()
+
+        def flush_outbox(i: int, ctx: NodeContext) -> None:
+            outbox = ctx._outbox
+            if outbox:
+                edge_ids = edge_id_maps[i]
+                backlog = phase.max_edge_backlog
+                for v, msg in outbox:
+                    if strict and msg.words > max_words:
+                        check_message_size(msg, max_words)  # raises
+                    e = edge_ids[v]
+                    queue = queues[e]
+                    if queue is None:
+                        queue = queues[e] = deque()
+                    if not queue:
+                        active_edges.append(e)
+                    queue.append(msg)
+                    if len(queue) > backlog:
+                        backlog = len(queue)
+                phase.max_edge_backlog = backlog
+                outbox.clear()
+            if ctx._tick_requested:
+                ctx._tick_requested = False
+                tick_nodes.add(ctx.node)
 
         # Round 0: on_start for everyone.
-        for u in self._nodes:
-            programs[u].on_start(contexts[u])
-            flush_outbox(u)
+        for i in range(n):
+            ctx = contexts[i]
+            programs[i].on_start(ctx)
+            if ctx._outbox or ctx._tick_requested:
+                flush_outbox(i, ctx)
 
         rounds = 0
-        while fifos or tick_set:
+        message_count = 0
+        word_count = 0
+        max_word = 0
+        while active_edges or tick_nodes:
             if rounds >= limit:
                 raise RoundLimitExceededError(
                     f"phase {name!r} did not reach quiescence within "
-                    f"{limit} rounds ({len(fifos)} busy edges)"
+                    f"{limit} rounds ({len(active_edges)} busy edges)"
                 )
             rounds += 1
-            # 1. Delivery: one message per directed edge.
-            inboxes: dict[NodeId, list[tuple[NodeId, Message]]] = {}
-            emptied: list[tuple[NodeId, NodeId]] = []
-            for (src, dst), queue in fifos.items():
+            # 1. Delivery: one message per busy directed edge, scanned
+            # in activation order over the flat edge-id list.  Message
+            # metrics accumulate in locals (folded into the phase after
+            # quiescence) — per-message method calls are pure overhead
+            # at this volume.
+            still_active: list[int] = []
+            for e in active_edges:
+                queue = queues[e]
                 msg = queue.popleft()
-                phase.merge_message(msg.words)
-                if self.tracer is not None:
-                    self.tracer.record(name, rounds, src, dst, msg)
-                inboxes.setdefault(dst, []).append((src, msg))
-                if not queue:
-                    emptied.append((src, dst))
-            for key in emptied:
-                del fifos[key]
-            # 2. Computation for receivers and tick requesters.
-            active = set(inboxes) | tick_set
-            tick_set = set()
+                w = msg.words
+                message_count += 1
+                word_count += w
+                if w > max_word:
+                    max_word = w
+                dst = adj_target[e]
+                if tracer is not None:
+                    tracer.record(
+                        name, rounds, edge_src_node[e], nodes[dst], msg
+                    )
+                box = inboxes[dst]
+                if not box:
+                    receivers.append(dst)
+                box.append((edge_src_node[e], msg))
+                if queue:
+                    still_active.append(e)
+            active_edges = still_active
+            # 2. Computation for receivers and tick requesters.  The
+            # active set is built over *original* node ids, via the same
+            # set(dict) | set construction as the legacy engine, so its
+            # iteration order — and therefore every downstream
+            # accumulation order — matches the legacy loop exactly.
+            active = set(dict.fromkeys(nodes[i] for i in receivers)) | tick_nodes
+            tick_nodes = set()
             for u in active:
-                ctx = contexts[u]
+                i = node_id[u]
+                ctx = contexts[i]
                 ctx.round = rounds
-                programs[u].on_round(ctx, inboxes.get(u, []))
-                flush_outbox(u)
+                programs[i].on_round(ctx, inboxes[i])
+                if ctx._outbox or ctx._tick_requested:
+                    flush_outbox(i, ctx)
+            for i in receivers:
+                inboxes[i].clear()
+            receivers.clear()
 
         phase.rounds = rounds
-        for u in self._nodes:
-            programs[u].on_stop(contexts[u])
-            if contexts[u]._outbox:
+        phase.messages = message_count
+        phase.words = word_count
+        phase.max_message_words = max_word
+        for i in range(n):
+            programs[i].on_stop(contexts[i])
+            if contexts[i]._outbox:
                 raise CongestError(
-                    f"node {u!r} attempted to send from on_stop in phase {name!r}"
+                    f"node {nodes[i]!r} attempted to send from on_stop "
+                    f"in phase {name!r}"
                 )
         self.metrics.add_phase(phase)
         return PhaseResult(phase, outputs)

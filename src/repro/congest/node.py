@@ -12,7 +12,7 @@ weights of incident edges, and (by the standard convention) ``n``.
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+from collections.abc import Hashable, Sequence
 from typing import Any, Optional
 
 from .message import Message
@@ -44,7 +44,7 @@ class NodeContext:
     def __init__(
         self,
         node: NodeId,
-        neighbors: list[NodeId],
+        neighbors: "Sequence[NodeId]",
         weights: dict[NodeId, float],
         network_size: int,
         memory: dict[str, Any],
@@ -85,12 +85,47 @@ class NodeContext:
             raise KeyError(
                 f"node {self.node!r} has no edge to {neighbor!r}"
             )
-        self._outbox.append((neighbor, Message(kind, tuple(payload))))
+        self._outbox.append((neighbor, Message(kind, payload)))
+
+    def multicast(self, neighbors: "Sequence[NodeId]", kind: str, *payload: Any) -> None:
+        """Send one identical message to several neighbours.
+
+        Builds a single frozen :class:`Message` shared by every target —
+        semantically identical to calling :meth:`send` per neighbour,
+        but the payload is constructed (and its word size audited) once
+        instead of once per copy.  Flood and downcast primitives, which
+        forward the same item to every child, use this.
+        """
+        if not neighbors:  # leaves multicast to no one constantly
+            return
+        weights = self._weights
+        outbox = self._outbox
+        message = Message(kind, payload)
+        for v in neighbors:
+            if v not in weights:
+                raise KeyError(f"node {self.node!r} has no edge to {v!r}")
+            outbox.append((v, message))
 
     def broadcast(self, kind: str, *payload: Any) -> None:
         """Send the same message to every neighbour."""
-        for v in self.neighbors:
-            self.send(v, kind, *payload)
+        self.multicast(self.neighbors, kind, *payload)
+
+    def forward(self, neighbors: "Sequence[NodeId]", message: Message) -> None:
+        """Relay a received message onward, unchanged.
+
+        Messages are frozen, so relays (downcasts, floods) can enqueue
+        the received object itself instead of re-wrapping an identical
+        kind/payload at every hop — same wire semantics, one message
+        object (and one size audit) per item end to end.
+        """
+        if not neighbors:
+            return
+        weights = self._weights
+        outbox = self._outbox
+        for v in neighbors:
+            if v not in weights:
+                raise KeyError(f"node {self.node!r} has no edge to {v!r}")
+            outbox.append((v, message))
 
     def output(self, key: str, value: Any) -> None:
         """Record a named result of this node (collected by the engine)."""
@@ -127,7 +162,12 @@ class NodeProgram:
         """One-time initialisation before the first round."""
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
-        """Handle this round's inbox; send via ``ctx.send``."""
+        """Handle this round's inbox; send via ``ctx.send``.
+
+        The inbox list is engine-owned and reused across rounds: read
+        it (or keep the ``(sender, message)`` entries) during the call,
+        but do not store a reference to the list itself.
+        """
 
     def on_stop(self, ctx: NodeContext) -> None:
         """Called once when the phase reaches quiescence (finalise

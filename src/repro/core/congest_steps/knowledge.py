@@ -150,10 +150,13 @@ class AncestorDowncast(NodeProgram):
 
     def _forward(self, ctx: NodeContext, ancestor, frag_a, hops) -> None:
         tf_parent = ctx.memory["or:tf"]
-        for child in self.tree.children(ctx):
-            child_frag = ctx.memory["frag:nbr"][child]
-            if frag_a == child_frag or frag_a == tf_parent.get(child_frag):
-                ctx.send(child, self.KIND, ancestor, frag_a, hops + 1)
+        nbr_frag = ctx.memory["frag:nbr"]
+        in_scope = [
+            child
+            for child in self.tree.children(ctx)
+            if frag_a == nbr_frag[child] or frag_a == tf_parent.get(nbr_frag[child])
+        ]
+        ctx.multicast(in_scope, self.KIND, ancestor, frag_a, hops + 1)
 
 
 # ----------------------------------------------------------------------
@@ -199,10 +202,13 @@ class LowestHolderDowncast(NodeProgram):
 
     def _forward(self, ctx: NodeContext, u_prime, frag_u, frag_below, hops) -> None:
         tf_parent = ctx.memory["or:tf"]
-        for child in self.tree.children(ctx):
-            child_frag = ctx.memory["frag:nbr"][child]
-            if frag_u == child_frag or frag_u == tf_parent.get(child_frag):
-                ctx.send(child, self.KIND, u_prime, frag_u, frag_below, hops + 1)
+        nbr_frag = ctx.memory["frag:nbr"]
+        in_scope = [
+            child
+            for child in self.tree.children(ctx)
+            if frag_u == nbr_frag[child] or frag_u == tf_parent.get(nbr_frag[child])
+        ]
+        ctx.multicast(in_scope, self.KIND, u_prime, frag_u, frag_below, hops + 1)
 
 
 # ----------------------------------------------------------------------

@@ -280,7 +280,8 @@ def install_partition_knowledge(
     and the fragment-restricted tree.
     """
     tree = decomposition.tree
-    for u in network.nodes:
+    neighbor_lists = network.index.neighbor_lists
+    for i, u in enumerate(network.nodes):
         mem = network.memory[u]
         fid = decomposition.fragment_id(u)
         frag_root = decomposition.root_of[u]
@@ -288,7 +289,7 @@ def install_partition_knowledge(
         mem["frag:root"] = frag_root
         mem["frag:is_root"] = frag_root == u
         mem["frag:nbr"] = {
-            v: decomposition.fragment_id(v) for v in network.graph.neighbors(u)
+            v: decomposition.fragment_id(v) for v in neighbor_lists[i]
         }
         parent = tree.parent(u)
         mem[FRAGMENT_TREE.parent_key] = (

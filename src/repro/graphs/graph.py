@@ -23,6 +23,7 @@ from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
 
 from ..errors import DisconnectedGraphError, GraphError
+from .index import GraphIndex
 
 Node = Hashable
 Edge = tuple[Node, Node]
@@ -53,6 +54,9 @@ class WeightedGraph:
 
     def __init__(self, edges: Optional[Iterable] = None) -> None:
         self._adj: dict[Node, dict[Node, float]] = {}
+        self._version = 0
+        self._index_cache: Optional[tuple[int, "GraphIndex"]] = None
+        self._hash_cache: Optional[tuple[int, str]] = None
         if edges is not None:
             for edge in edges:
                 if len(edge) == 2:
@@ -65,9 +69,15 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        """Invalidate content-derived caches (index, hash)."""
+        self._version += 1
+
     def add_node(self, u: Node) -> None:
         """Insert an isolated node ``u`` (no-op if already present)."""
-        self._adj.setdefault(u, {})
+        if u not in self._adj:
+            self._adj[u] = {}
+            self._mutated()
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Insert the undirected edge ``{u, v}``.
@@ -85,6 +95,7 @@ class WeightedGraph:
         new_weight = self._adj[u].get(v, 0.0) + weight
         self._adj[u][v] = new_weight
         self._adj[v][u] = new_weight
+        self._mutated()
 
     def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
         """Overwrite the weight of an existing edge ``{u, v}``."""
@@ -94,6 +105,7 @@ class WeightedGraph:
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._mutated()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Delete the edge ``{u, v}``; raise :class:`GraphError` if absent."""
@@ -101,6 +113,7 @@ class WeightedGraph:
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
         del self._adj[u][v]
         del self._adj[v][u]
+        self._mutated()
 
     def remove_node(self, u: Node) -> None:
         """Delete node ``u`` and all incident edges."""
@@ -109,6 +122,7 @@ class WeightedGraph:
         for v in list(self._adj[u]):
             del self._adj[v][u]
         del self._adj[u]
+        self._mutated()
 
     # ------------------------------------------------------------------
     # Queries
@@ -182,6 +196,22 @@ class WeightedGraph:
             ((u, v, w) if u <= v else (v, u, w) for u, v, w in self.edges())
         )
 
+    def index(self) -> "GraphIndex":
+        """The cached :class:`~repro.graphs.index.GraphIndex` of this graph.
+
+        Built on first access and reused until the graph mutates (any
+        ``add_*``/``remove_*``/``set_edge_weight`` call invalidates it),
+        so every layer of a solve — the CONGEST engine, centralized
+        distance helpers, connectivity checks — shares one flat view
+        instead of rebuilding adjacency dicts per call.
+        """
+        cached = self._index_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        built = GraphIndex(self)
+        self._index_cache = (self._version, built)
+        return built
+
     def content_hash(self) -> str:
         """SHA-256 hex digest of the canonical (node set, edge list) content.
 
@@ -190,13 +220,17 @@ class WeightedGraph:
         insertion order and multigraph merge history: two graphs with
         the same nodes and the same merged edge weights hash
         identically.  This is the identity the execution layer's result
-        cache keys on (:mod:`repro.exec.cache`).
+        cache keys on (:mod:`repro.exec.cache`).  Like :meth:`index`,
+        the digest is cached until the graph mutates.
 
         Nodes are canonicalised via ``repr``, so distinct nodes must
         have distinct reprs (true for the int/str nodes the generators
         produce); weights are canonicalised via ``repr(float(w))``,
         which round-trips exactly.
         """
+        cached = self._hash_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         lines = [f"n:{r}" for r in sorted(repr(u) for u in self._adj)]
         lines.extend(
             f"e:{a}|{b}|{w}"
@@ -205,7 +239,9 @@ class WeightedGraph:
                 for u, v, w in self.edges()
             )
         )
-        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+        digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+        self._hash_cache = (self._version, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Cut machinery
@@ -293,8 +329,13 @@ class WeightedGraph:
         return components
 
     def is_connected(self) -> bool:
-        """True when the graph has exactly one connected component."""
-        return len(self._adj) > 0 and len(self.connected_components()) == 1
+        """True when the graph has exactly one connected component.
+
+        Runs on the cached :meth:`index` (one CSR BFS), so repeated
+        connectivity checks along a solve pipeline cost one traversal of
+        flat arrays instead of rebuilding neighbour lists.
+        """
+        return len(self._adj) > 0 and self.index().is_connected()
 
     def require_connected(self) -> None:
         """Raise :class:`DisconnectedGraphError` unless connected."""
@@ -302,6 +343,19 @@ class WeightedGraph:
             raise DisconnectedGraphError(
                 "algorithm requires a connected graph with at least one node"
             )
+
+    # ------------------------------------------------------------------
+    # Pickling (process-backend tasks ship graphs to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop derived caches: workers rebuild them on demand."""
+        return {"_adj": self._adj, "_version": self._version}
+
+    def __setstate__(self, state: dict) -> None:
+        self._adj = state["_adj"]
+        self._version = state.get("_version", 0)
+        self._index_cache = None
+        self._hash_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

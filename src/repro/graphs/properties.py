@@ -51,30 +51,41 @@ def bfs_tree_parents(graph: WeightedGraph, source: Node) -> dict[Node, Node]:
 
 
 def eccentricity(graph: WeightedGraph, source: Node) -> int:
-    """Maximum hop distance from ``source``; requires connectivity."""
-    dist = bfs_distances(graph, source)
-    if len(dist) != graph.number_of_nodes:
-        raise DisconnectedGraphError("eccentricity undefined on disconnected graphs")
-    return max(dist.values())
+    """Maximum hop distance from ``source``; requires connectivity.
+
+    Runs on the graph's cached :class:`~repro.graphs.index.GraphIndex`
+    (flat CSR arrays), so repeated distance queries — diameter, the
+    congest drivers' D hints — share one index build.
+    """
+    index = graph.index()
+    if source not in index.node_id:
+        raise GraphError(f"node {source!r} does not exist")
+    try:
+        return index.eccentricity_of(index.node_id[source])
+    except GraphError:
+        raise DisconnectedGraphError(
+            "eccentricity undefined on disconnected graphs"
+        ) from None
 
 
 def diameter(graph: WeightedGraph, exact_threshold: int = 600) -> int:
     """Hop diameter ``D``.
 
-    Exact (all-pairs BFS) for graphs up to ``exact_threshold`` nodes;
-    beyond that, a double-sweep lower bound is used, which is exact on
-    trees and extremely tight on the benchmark families.  The returned
-    value is only used to *report* D next to measured round counts.
+    Exact (all-pairs BFS over the cached index) for graphs up to
+    ``exact_threshold`` nodes; beyond that, a double-sweep lower bound
+    is used, which is exact on trees and extremely tight on the
+    benchmark families.  The returned value is only used to *report* D
+    next to measured round counts.
     """
     graph.require_connected()
-    nodes = graph.nodes
-    if len(nodes) <= exact_threshold:
-        return max(eccentricity(graph, u) for u in nodes)
-    start = nodes[0]
-    dist = bfs_distances(graph, start)
-    far = max(dist, key=dist.__getitem__)
-    dist2 = bfs_distances(graph, far)
-    return max(dist2.values())
+    index = graph.index()
+    n = index.node_count
+    if n <= exact_threshold:
+        return max(index.eccentricity_of(i) for i in range(n))
+    dist = index.bfs_distances_from(0)
+    far = max(range(n), key=dist.__getitem__)
+    dist2 = index.bfs_distances_from(far)
+    return max(dist2)
 
 
 def degree_statistics(graph: WeightedGraph) -> dict[str, float]:

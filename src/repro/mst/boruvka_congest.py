@@ -81,8 +81,7 @@ class _ComponentTreeBuild(NodeProgram):
         ctx.memory[COMPONENT_TREE.parent_key] = None
         self._adopted = ctx.memory["mst:comp"] == ctx.node
         if self._adopted:
-            for v in ctx.memory["mst:marked"]:
-                ctx.send(v, "tree")
+            ctx.multicast(list(ctx.memory["mst:marked"]), "tree")
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
         for src, msg in inbox:
@@ -92,9 +91,9 @@ class _ComponentTreeBuild(NodeProgram):
                 self._adopted = True
                 ctx.memory[COMPONENT_TREE.parent_key] = src
                 ctx.send(src, "adopt")
-                for v in ctx.memory["mst:marked"]:
-                    if v != src:
-                        ctx.send(v, "tree")
+                ctx.multicast(
+                    [v for v in ctx.memory["mst:marked"] if v != src], "tree"
+                )
 
 
 class _MinOutgoingEdge(NodeProgram):
@@ -157,16 +156,16 @@ class _AnnounceChosen(NodeProgram):
             if other not in ctx.memory["mst:marked"]:
                 ctx.memory["mst:marked"].add(other)
                 ctx.send(other, "mark")
-        for child in ctx.memory[COMPONENT_TREE.children_key]:
-            ctx.send(child, "chosen", *chosen)
+        ctx.multicast(ctx.memory[COMPONENT_TREE.children_key], "chosen", *chosen)
 
 
 class _MinLabelFlood(NodeProgram):
     """Flood the minimum component label over chosen edges."""
 
     def on_start(self, ctx: NodeContext) -> None:
-        for v in ctx.memory["mst:marked"]:
-            ctx.send(v, "label", ctx.memory["mst:comp"])
+        ctx.multicast(
+            list(ctx.memory["mst:marked"]), "label", ctx.memory["mst:comp"]
+        )
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
         best = ctx.memory["mst:comp"]
@@ -177,8 +176,7 @@ class _MinLabelFlood(NodeProgram):
                 improved = True
         if improved:
             ctx.memory["mst:comp"] = best
-            for v in ctx.memory["mst:marked"]:
-                ctx.send(v, "label", best)
+            ctx.multicast(list(ctx.memory["mst:marked"]), "label", best)
 
 
 def boruvka_mst(

@@ -53,9 +53,9 @@ class BFSTreeBuild(NodeProgram):
         ctx.memory[self.spec.parent_key] = parent
         ctx.memory[self.spec.depth_key] = depth + 1
         ctx.send(parent, "adopt")
-        for v in ctx.neighbors:
-            if v != parent:
-                ctx.send(v, "bfs", depth + 1)
+        ctx.multicast(
+            [v for v in ctx.neighbors if v != parent], "bfs", depth + 1
+        )
 
 
 def _offer_order(offer: tuple[int, NodeId]):

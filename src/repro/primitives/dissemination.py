@@ -32,7 +32,9 @@ ItemsFn = Callable[[NodeContext], Iterable[tuple]]
 
 
 def _as_item(payload: tuple) -> tuple:
-    return tuple(payload)
+    # Message payloads are already tuples; this is documentation-level
+    # typing, not a copy.
+    return payload
 
 
 class DowncastItems(NodeProgram):
@@ -50,23 +52,24 @@ class DowncastItems(NodeProgram):
         self.spec = spec
         self.items = items
         self.out_key = out_key
+        self._children: list = []
 
     def on_start(self, ctx: NodeContext) -> None:
         record = ctx.memory.setdefault(self.out_key, [])
+        # The tree is static for the phase: read it once, not per round.
+        self._children = self.spec.children(ctx)
         for item in self.items(ctx):
             record.append(tuple(item))
-            for child in self.spec.children(ctx):
-                ctx.send(child, self.KIND, *item)
+            ctx.multicast(self._children, self.KIND, *item)
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
         record = ctx.memory[self.out_key]
+        children = self._children
         for _src, msg in inbox:
             if msg.kind != self.KIND:
                 continue
-            item = _as_item(msg.payload)
-            record.append(item)
-            for child in self.spec.children(ctx):
-                ctx.send(child, self.KIND, *item)
+            record.append(_as_item(msg.payload))
+            ctx.forward(children, msg)
 
 
 class UpcastUnion(NodeProgram):
@@ -82,11 +85,12 @@ class UpcastUnion(NodeProgram):
         self.spec = spec
         self.items = items
         self.out_key = out_key
+        self._parent = None
 
     def on_start(self, ctx: NodeContext) -> None:
         seen: set[tuple] = set()
         ctx.memory[self.out_key] = seen
-        parent = self.spec.parent(ctx)
+        parent = self._parent = self.spec.parent(ctx)
         for item in self.items(ctx):
             item = tuple(item)
             if item not in seen:
@@ -96,7 +100,7 @@ class UpcastUnion(NodeProgram):
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
         seen = ctx.memory[self.out_key]
-        parent = self.spec.parent(ctx)
+        parent = self._parent
         for _src, msg in inbox:
             if msg.kind != self.KIND:
                 continue
@@ -104,7 +108,7 @@ class UpcastUnion(NodeProgram):
             if item not in seen:
                 seen.add(item)
                 if parent is not None:
-                    ctx.send(parent, self.KIND, *item)
+                    ctx.forward((parent,), msg)
 
 
 def gossip_items(

@@ -75,9 +75,11 @@ class PipelinedKeyedSum(NodeProgram):
         self._watermark: dict = {}
         self._done_sent = False
         self._children: list = []
+        self._parent = None
 
     def on_start(self, ctx: NodeContext) -> None:
         self._children = list(self.spec.children(ctx))
+        self._parent = self.spec.parent(ctx)
         self._watermark = {c: _NOTHING for c in self._children}
         if self.capture_own_key:
             ctx.memory[self.out_key] = 0
@@ -119,7 +121,7 @@ class PipelinedKeyedSum(NodeProgram):
         return all(mark is _DONE for mark in self._watermark.values())
 
     def _try_emit(self, ctx: NodeContext) -> None:
-        parent = self.spec.parent(ctx)
+        parent = self._parent
         while self._heap:
             key = self._heap[0]
             if not self._children_past(key):

@@ -158,6 +158,84 @@ class TestAutoSelection:
             solve(_family("complete", 10), solver="approx", epsilon=2.0)
 
 
+class TestBudgetAwareAuto:
+    """The expected-cost metadata and the budget ceiling on ``auto``."""
+
+    def test_every_builtin_solver_has_a_cost_model(self):
+        graph = _family("gnp", 16)
+        for spec in default_registry():
+            cost = spec.expected_cost(graph)
+            assert cost is not None and cost > 0, spec.name
+
+    def test_costs_grow_with_instance_size(self):
+        small, large = _family("gnp", 16), _family("gnp", 64)
+        for spec in default_registry():
+            assert spec.expected_cost(large) > spec.expected_cost(small)
+
+    def test_no_budget_keeps_default_pick(self):
+        graph = _family("gnp", 30, seed=1)
+        registry = default_registry()
+        assert registry.select_auto(graph).name == "exact"
+
+    def test_budget_degrades_to_cheaper_exact_solver(self):
+        graph = _family("gnp", 30, seed=1)
+        registry = default_registry()
+        pick = registry.select_auto(graph, budget=20_000)
+        # "exact" is over this ceiling; the strongest affordable
+        # guarantee with highest priority wins instead.
+        assert pick.name == "stoer_wagner"
+        assert pick.expected_cost(graph) <= 20_000
+
+    def test_budget_below_everything_picks_cheapest(self):
+        graph = _family("gnp", 30, seed=1)
+        registry = default_registry()
+        pick = registry.select_auto(graph, budget=1)
+        candidates = registry.applicable(
+            graph, kinds=("exact",), include_heavy=False
+        )
+        cheapest = min(candidates, key=lambda s: s.expected_cost(graph))
+        assert pick.name == cheapest.name
+
+    def test_unmodelled_solvers_are_never_skipped(self):
+        registry = SolverRegistry()
+
+        @registry.register(
+            "modelled", kind="exact", guarantee="exact", summary="s",
+            priority=10, cost_model=lambda n, m: 1e12,
+        )
+        def _modelled(graph, **kw):  # pragma: no cover - never run
+            raise AssertionError
+
+        @registry.register(
+            "unmodelled", kind="exact", guarantee="exact", summary="s",
+            priority=5,
+        )
+        def _unmodelled(graph, **kw):  # pragma: no cover - never run
+            raise AssertionError
+
+        graph = _family("gnp", 10)
+        assert registry.select_auto(graph, budget=100).name == "unmodelled"
+
+    def test_facade_budget_steers_auto_and_is_not_forwarded(self):
+        graph = _family("gnp", 30, seed=1)
+        result = solve(graph, budget=20_000)
+        assert result.solver == "stoer_wagner"
+        truth = solve(graph, solver="stoer_wagner")
+        assert result.value == pytest.approx(truth.value)
+
+    def test_facade_named_solver_budget_is_still_the_effort_cap(self):
+        graph = _family("gnp", 14)
+        result = solve(graph, solver="karger", budget=7, seed=3)
+        assert result.extras["repetitions"] == 7
+
+    def test_solve_batch_budget_with_auto(self):
+        graphs = [_family("gnp", 30, seed=s) for s in (1, 2)]
+        results = solve_batch(graphs, budget=20_000)
+        assert [r.solver for r in results] == ["stoer_wagner", "stoer_wagner"]
+        for graph, result in zip(graphs, results):
+            assert result.matches(graph)
+
+
 class TestEverySolverVerifies:
     @pytest.mark.parametrize("family,n", FAMILIES)
     def test_all_results_verify(self, family, n):

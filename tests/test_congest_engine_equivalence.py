@@ -1,0 +1,163 @@
+"""Engine equivalence: the indexed loop reproduces the legacy loop exactly.
+
+PR 3 rewrote :meth:`CongestNetwork.run_phase` on flat arrays indexed by
+directed-edge id; the original dict-based loop survives as
+:class:`~repro.congest.legacy.LegacyCongestNetwork`.  These tests run
+representative protocols — BFS, convergecast, pipelined keyed sums,
+gossip, Borůvka MST, and the full 1-respecting min-cut sweep — on both
+engines and assert **identical** :class:`PhaseMetrics` (rounds,
+messages, words, max backlog), bit-identical node outputs, and
+bit-identical persistent memory, seed for seed.  The indexed engine's
+delivery order mirrors the legacy dict's insertion-order iteration by
+construction, so even float accumulations agree to the last bit.
+"""
+
+import pytest
+
+from repro.congest import CongestNetwork, LegacyCongestNetwork
+from repro.core import one_respecting_min_cut_congest
+from repro.graphs import (
+    build_family,
+    grid_graph,
+    random_spanning_tree,
+    weighted_ring_of_cliques,
+)
+from repro.mst import boruvka_mst
+from repro.primitives import (
+    BFS_TREE,
+    Convergecast,
+    PipelinedKeyedSum,
+    build_bfs_tree,
+    gossip_items,
+)
+
+ENGINES = (LegacyCongestNetwork, CongestNetwork)
+
+
+def _graph_cases():
+    return [
+        ("gnp-49", build_family("gnp", 49, seed=4)),
+        ("grid-36", grid_graph(6, 6)),
+        ("regular-36", build_family("regular", 36, seed=7)),
+        # Float weights: bit-identical sums require identical delivery
+        # *and* processing order, the strongest equivalence.
+        ("ring-cliques", weighted_ring_of_cliques(5, 4, bridge_weight=0.7)),
+    ]
+
+
+def _phase_tuples(net):
+    return [
+        (p.name, p.rounds, p.messages, p.words, p.max_message_words,
+         p.max_edge_backlog)
+        for p in net.metrics.phases
+    ]
+
+
+def _run_on_both(graph, driver):
+    """Run ``driver(network)`` on both engines; return both networks and
+    the driver results."""
+    nets, results = [], []
+    for engine in ENGINES:
+        net = engine(graph)
+        results.append(driver(net))
+        nets.append(net)
+    return nets, results
+
+
+def _assert_networks_identical(nets):
+    legacy, indexed = nets
+    assert _phase_tuples(indexed) == _phase_tuples(legacy)
+    assert indexed.metrics.charged_rounds == legacy.metrics.charged_rounds
+    assert tuple(indexed.nodes) == tuple(legacy.nodes)
+    for u in legacy.nodes:
+        assert indexed.memory[u] == legacy.memory[u], f"memory differs at {u!r}"
+
+
+@pytest.mark.parametrize("name,graph", _graph_cases())
+class TestProtocolEquivalence:
+    def test_bfs_tree(self, name, graph):
+        nets, results = _run_on_both(graph, lambda net: build_bfs_tree(net))
+        _assert_networks_identical(nets)
+        legacy_result, indexed_result = results
+        assert indexed_result.outputs == legacy_result.outputs
+
+    def test_convergecast_weighted_degrees(self, name, graph):
+        def driver(net):
+            build_bfs_tree(net)
+            return net.run_phase(
+                "cc",
+                lambda u: Convergecast(
+                    BFS_TREE, initial=lambda ctx: ctx.weighted_degree()
+                ),
+            )
+
+        nets, results = _run_on_both(graph, driver)
+        _assert_networks_identical(nets)
+        legacy_result, indexed_result = results
+        assert indexed_result.outputs == legacy_result.outputs
+
+    def test_pipelined_keyed_sums(self, name, graph):
+        def driver(net):
+            build_bfs_tree(net)
+            return net.run_phase(
+                "ks",
+                lambda u: PipelinedKeyedSum(
+                    BFS_TREE,
+                    lambda ctx: [(ctx.node % 5, 1), (ctx.node % 3, 2)],
+                ),
+            )
+
+        nets, results = _run_on_both(graph, driver)
+        _assert_networks_identical(nets)
+
+    def test_gossip(self, name, graph):
+        def driver(net):
+            gossip_items(
+                net,
+                lambda ctx: [(ctx.node, ctx.degree)] if ctx.degree >= 3 else [],
+                out_key="eq:gossip",
+            )
+            return net.memory_map("eq:gossip")
+
+        nets, results = _run_on_both(graph, driver)
+        _assert_networks_identical(nets)
+        legacy_map, indexed_map = results
+        assert indexed_map == legacy_map
+
+    def test_boruvka_mst(self, name, graph):
+        nets, results = _run_on_both(graph, boruvka_mst)
+        _assert_networks_identical(nets)
+        legacy_tree, indexed_tree = results
+        assert sorted(indexed_tree.edges()) == sorted(legacy_tree.edges())
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_one_respect_sweep_equivalence(seed):
+    graph = build_family("gnp", 64, seed=seed)
+    tree = random_spanning_tree(graph, seed=seed)
+
+    def driver(net):
+        return one_respecting_min_cut_congest(graph, tree, network=net)
+
+    nets, results = _run_on_both(graph, driver)
+    _assert_networks_identical(nets)
+    legacy_result, indexed_result = results
+    assert indexed_result.best_value == legacy_result.best_value
+    assert indexed_result.best_node == legacy_result.best_node
+    assert indexed_result.cut_values == legacy_result.cut_values
+
+
+def test_one_respect_simulated_partition_equivalence():
+    graph = grid_graph(7, 7)
+    tree = random_spanning_tree(graph, seed=2)
+
+    def driver(net):
+        return one_respecting_min_cut_congest(
+            graph, tree, network=net, simulate_partition=True
+        )
+
+    nets, results = _run_on_both(graph, driver)
+    _assert_networks_identical(nets)
+    legacy_result, indexed_result = results
+    assert indexed_result.best_value == legacy_result.best_value
+    assert indexed_result.cut_values == legacy_result.cut_values

@@ -64,11 +64,13 @@ class TestNetworkPlumbing:
         result = net.run_phase("o", lambda u: Out())
         assert result.output_map("even") == {0: 0, 2: 2}
 
-    def test_nodes_property_is_copy(self):
+    def test_nodes_property_is_cached_immutable(self):
         net = CongestNetwork(path_graph(3))
         nodes = net.nodes
-        nodes.append(99)
-        assert 99 not in net.nodes
+        # Hot loops read this per access: no per-read copy, no mutation.
+        assert nodes is net.nodes
+        assert isinstance(nodes, tuple)
+        assert nodes == (0, 1, 2)
 
     def test_size(self):
         assert CongestNetwork(star_graph(7)).size == 7
