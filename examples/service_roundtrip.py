@@ -1,0 +1,88 @@
+"""End-to-end smoke of a *running* repro service (CI's service-smoke job).
+
+Usage::
+
+    python -m repro serve --port 8137 --access-log access.log &
+    python examples/service_roundtrip.py http://127.0.0.1:8137
+
+Exercises the full request surface against a live server and exits
+non-zero on the first broken property:
+
+1. ``/solve`` round trip — the remote ``CutResult`` matches a direct
+   in-process ``repro.solve`` (value, witness side, solver) and the
+   witness verifies locally;
+2. ``/solve_batch`` — per-instance values match a direct batch;
+3. cache-hit repeat — the identical request again is a server cache
+   hit, visible both in ``extras["cache"]`` and ``/healthz`` counters;
+4. malformed request — a non-JSON body answers a structured 400.
+"""
+
+import json
+import sys
+import urllib.error
+import urllib.request
+
+from repro.api import solve, solve_batch
+from repro.graphs import planted_cut_graph
+from repro.service import ServiceClient
+
+
+def main(base_url: str) -> int:
+    client = ServiceClient(base_url, timeout=60.0)
+    health = client.wait_until_ready(timeout=30.0)
+    print(f"service up: version {health['version']}, "
+          f"{health['solvers']} solvers registered")
+
+    # 1. solve round trip vs direct.
+    graph = planted_cut_graph((12, 12), cut_value=3, seed=7)
+    remote = client.solve(graph, seed=0)
+    direct = solve(graph, seed=0)
+    assert remote.value == direct.value == 3.0, (remote.value, direct.value)
+    assert remote.side == direct.side
+    assert remote.solver == direct.solver
+    assert remote.matches(graph), "remote witness failed local verification"
+    print(f"solve       : {remote.solver} -> {remote.value:g} (matches direct)")
+
+    # 2. batch round trip vs direct.
+    graphs = [planted_cut_graph((8, 8), 2, seed=s) for s in range(4)]
+    remote_batch = client.solve_batch(graphs, solver="stoer_wagner")
+    direct_batch = solve_batch(graphs, solver="stoer_wagner")
+    assert [r.value for r in remote_batch] == [r.value for r in direct_batch]
+    assert [r.side for r in remote_batch] == [r.side for r in direct_batch]
+    print(f"solve_batch : {len(remote_batch)} instances match direct")
+
+    # 3. identical request again: server cache hit.
+    repeat = client.solve(graph, seed=0)
+    assert repeat.extras["cache"]["hit"], repeat.extras
+    assert repeat.value == remote.value and repeat.side == remote.side
+    hits = client.health()["cache"]["hits"]
+    assert hits >= 1, f"healthz reports no cache hits after a repeat: {hits}"
+    print(f"cache       : repeat request hit ({hits} total hit(s))")
+
+    # 4. malformed body: structured 400 (raw urllib — the typed client
+    # cannot even emit a non-JSON body).
+    request = urllib.request.Request(
+        base_url.rstrip("/") + "/solve",
+        data=b"definitely not json",
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        urllib.request.urlopen(request, timeout=10.0)
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400, f"expected 400, got {exc.code}"
+        body = json.loads(exc.read().decode("utf-8"))
+        assert body["error"]["type"] == "ServiceError", body
+        print(f"malformed   : 400 {body['error']['message']!r}")
+    else:
+        raise AssertionError("malformed request was accepted")
+
+    print("service round-trip smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        raise SystemExit(2)
+    raise SystemExit(main(sys.argv[1]))

@@ -9,6 +9,10 @@ Public API highlights
 * :mod:`repro.exec` — execution backends (``serial``/``thread``/
   ``process``, the façade's ``backend=`` knob) and
   :class:`repro.ResultCache`, the content-addressed result cache.
+* :mod:`repro.service` — the façade served over JSON-per-request HTTP
+  (``python -m repro serve`` / :class:`repro.service.ServiceClient`),
+  one shared result cache across connections.  Imported lazily — the
+  core library never pays for the HTTP machinery.
 * :class:`repro.graphs.WeightedGraph`, :class:`repro.graphs.RootedTree`
   and the generator families.
 * :class:`repro.congest.CongestNetwork` — the CONGEST simulator.

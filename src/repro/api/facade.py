@@ -11,8 +11,13 @@ One stable entry point over every registered min-cut solver::
 
 Every call returns a canonical :class:`~repro.api.result.CutResult`
 stamped with the solver name, guarantee class, seed and wall time, so
-downstream consumers (CLI, comparison tables, benchmarks, future
-service layers) never touch per-algorithm result types.
+downstream consumers (CLI, comparison tables, benchmarks, the
+:mod:`repro.service` HTTP layer) never touch per-algorithm result
+types.  The service layer is a thin shell over exactly these three
+entry points: a ``POST /solve`` body is one :func:`solve` call, a
+``POST /solve_batch`` body one :func:`solve_batch` call whose graphs
+become :class:`~repro.exec.task.SolveTask` fan-out on the same
+backends, with the server's shared cache passed as ``cache=``.
 
 ``solve_all`` runs every applicable solver on one graph (the compare
 workload); ``solve_batch`` maps ``solve`` over many graphs (the sweep

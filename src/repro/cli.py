@@ -15,6 +15,10 @@ Commands
                ``solve_batch`` (execution backend + result cache knobs).
 ``solvers``    list the solver registry with capability metadata.
 ``bounds``     certified λ interval from edge-disjoint tree packings.
+``serve``      run the JSON-over-HTTP service (:mod:`repro.service`)
+               sharing one result cache across connections.
+``client``     talk to a running service (health, solvers, solve,
+               batch round trips) — the CI smoke job's tool.
 
 All algorithm dispatch goes through :mod:`repro.api` — the commands
 iterate the solver registry instead of hard-coding algorithm lists, so
@@ -37,6 +41,8 @@ Examples
     python -m repro sweep --family gnp --n 64 --count 16 --backend process
     python -m repro sweep --family grid --n 49 --count 8 --cache --repeat 2
     python -m repro solvers
+    python -m repro serve --port 8137 --cache-file service_cache.json
+    python -m repro client solve --url http://127.0.0.1:8137 --family gnp --n 48
 """
 
 from __future__ import annotations
@@ -343,6 +349,107 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, create_server
+
+    cache = (
+        ResultCache(path=args.cache_file) if args.cache_file else ResultCache()
+    )
+    config = ServiceConfig(
+        max_nodes=args.max_nodes, max_batch=args.max_batch, backend=args.backend
+    )
+    server = create_server(
+        args.host,
+        args.port,
+        cache=cache,
+        config=config,
+        access_log=args.access_log,
+    )
+    # The resolved URL is printed before blocking (and flushed) so
+    # wrappers that pass --port 0 can scrape the picked port.
+    print(f"repro service listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.action == "health":
+        print(json.dumps(client.health(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "solvers":
+        solvers = client.solvers()
+        rows = [
+            [spec["name"], spec["kind"], spec["guarantee"],
+             "yes" if spec["heavy"] else "-", spec["summary"]]
+            for spec in solvers
+        ]
+        print(
+            format_table(
+                ["name", "kind", "guarantee", "heavy", "summary"],
+                rows,
+                title=f"{len(solvers)} solvers served by {args.url}",
+            )
+        )
+        return 0
+    if args.action == "solve":
+        graph = _load_graph(args)
+        result = client.solve(
+            graph,
+            solver=args.solver,
+            epsilon=args.epsilon,
+            mode=args.mode,
+            seed=args.seed,
+        )
+        print(f"minimum cut value : {result.value:g}  [{result.solver}, "
+              f"{result.guarantee}]")
+        print(f"witness side size : {len(result.side)} of {graph.number_of_nodes}")
+        info = result.extras.get("cache")
+        if info is not None:
+            print(
+                f"server cache      : {'hit' if info['hit'] else 'miss'} "
+                f"({info['hits']} hit(s), {info['misses']} miss(es))"
+            )
+        return 0
+    # args.action == "batch"
+    graphs = [
+        build_family(args.family, args.n, seed=args.seed + i)
+        for i in range(args.count)
+    ]
+    results = client.solve_batch(
+        graphs,
+        solver=args.solver,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    rows = []
+    for index, (graph, result) in enumerate(zip(graphs, results)):
+        info = result.extras.get("cache")
+        note = "-" if info is None else ("hit" if info["hit"] else "miss")
+        rows.append(
+            [index, graph.number_of_nodes, graph.number_of_edges,
+             result.solver, result.value, note]
+        )
+    print(
+        format_table(
+            ["#", "n", "m", "solver", "cut value", "cache"],
+            rows,
+            title=f"remote batch — family '{args.family}' via {args.url}",
+        )
+    )
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     from .packing import certified_cut_bounds
 
@@ -440,6 +547,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_solvers = sub.add_parser("solvers", help="list the solver registry")
     p_solvers.set_defaults(handler=_cmd_solvers)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP solve service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--cache-file", default=None, metavar="PATH",
+        help="persist the shared result cache to this JSON file",
+    )
+    p_serve.add_argument(
+        "--backend", choices=sorted(BACKENDS), default=None,
+        help="default execution backend for /solve_batch",
+    )
+    p_serve.add_argument(
+        "--max-nodes", type=int, default=4096,
+        help="reject (413) single graphs larger than this",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="reject (413) batches longer than this",
+    )
+    p_serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one line per request to this file (default: stderr)",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running repro service"
+    )
+    client_sub = p_client.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("health", "GET /healthz"),
+        ("solvers", "GET /solvers"),
+        ("solve", "POST /solve with a generated or file instance"),
+        ("batch", "POST /solve_batch with generated instances"),
+    ):
+        p_action = client_sub.add_parser(action, help=help_text)
+        p_action.add_argument(
+            "--url", required=True, help="service base URL, e.g. http://127.0.0.1:8000"
+        )
+        p_action.add_argument(
+            "--timeout", type=float, default=60.0, help="per-request timeout (s)"
+        )
+        if action == "solve":
+            _add_instance_arguments(p_action)
+            p_action.add_argument("--solver", default="auto")
+            p_action.add_argument("--epsilon", type=float, default=None)
+            p_action.add_argument(
+                "--mode", choices=("reference", "congest"), default="reference"
+            )
+        elif action == "batch":
+            p_action.add_argument(
+                "--family", choices=sorted(FAMILY_BUILDERS), default="gnp"
+            )
+            p_action.add_argument("--n", type=int, default=64)
+            p_action.add_argument("--count", type=int, default=8)
+            p_action.add_argument("--seed", type=int, default=0)
+            p_action.add_argument("--solver", default="auto")
+            p_action.add_argument("--epsilon", type=float, default=None)
+            p_action.add_argument(
+                "--backend", choices=sorted(BACKENDS), default=None,
+                help="server-side execution backend for the fan-out",
+            )
+        p_action.set_defaults(handler=_cmd_client)
 
     p_bounds = sub.add_parser("bounds", help="certified minimum-cut interval")
     _add_instance_arguments(p_bounds)

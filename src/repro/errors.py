@@ -54,3 +54,20 @@ class ProtocolError(CongestError):
 class AlgorithmError(ReproError):
     """Raised when an algorithm's preconditions are violated (bad
     parameters, unsupported input shape) or an internal invariant fails."""
+
+
+class ServiceError(ReproError):
+    """Raised for service-layer request/response failures.
+
+    Server side it marks a rejected request envelope (non-JSON body,
+    unknown fields, an instance over the configured limits) and carries
+    the HTTP ``status`` the transport should answer with.  Client side
+    (:class:`repro.service.ServiceClient`) it surfaces any non-2xx
+    response, with the decoded structured error body in ``payload``
+    (``status`` is 0 when the service was unreachable altogether).
+    """
+
+    def __init__(self, message: str, *, status: int = 400, payload=None):
+        super().__init__(message)
+        self.status = int(status)
+        self.payload = payload

@@ -5,7 +5,8 @@ the graph's canonical content hash
 (:meth:`repro.graphs.WeightedGraph.content_hash`), the resolved solver
 name, epsilon, mode, seed, budget and the extra options.  Two
 structurally identical graphs built in different insertion orders
-produce the same key, so benchmark sweeps and (future) service traffic
+produce the same key, so benchmark sweeps and service traffic
+(:mod:`repro.service` holds one cache shared by every connection)
 that replay instances skip recomputation entirely.
 
 :class:`ResultCache` is a bounded LRU with hit/miss counters and an
@@ -271,30 +272,34 @@ class ResultCache:
 _TUPLE_TAG = "__tuple__"
 
 
-def _encode_extras(value):
+def encode_extras(value):
     """JSON-safe form of an extras value; tuples get a tagged wrapper.
+
+    Shared with the service layer (:mod:`repro.service.protocol`), so a
+    ``CutResult`` crosses the wire with the same fidelity guarantees as
+    the persistence tier.
 
     Raises ``ValueError`` for values the encoding cannot represent
     unambiguously (a dict that itself uses the tag key).
     """
     if isinstance(value, tuple):
-        return {_TUPLE_TAG: [_encode_extras(item) for item in value]}
+        return {_TUPLE_TAG: [encode_extras(item) for item in value]}
     if isinstance(value, list):
-        return [_encode_extras(item) for item in value]
+        return [encode_extras(item) for item in value]
     if isinstance(value, dict):
         if _TUPLE_TAG in value:
             raise ValueError(f"extras dict uses the reserved key {_TUPLE_TAG!r}")
-        return {key: _encode_extras(item) for key, item in value.items()}
+        return {key: encode_extras(item) for key, item in value.items()}
     return value
 
 
-def _decode_extras(value):
+def decode_extras(value):
     if isinstance(value, dict):
         if set(value) == {_TUPLE_TAG}:
-            return tuple(_decode_extras(item) for item in value[_TUPLE_TAG])
-        return {key: _decode_extras(item) for key, item in value.items()}
+            return tuple(decode_extras(item) for item in value[_TUPLE_TAG])
+        return {key: decode_extras(item) for key, item in value.items()}
     if isinstance(value, list):
-        return [_decode_extras(item) for item in value]
+        return [decode_extras(item) for item in value]
     return value
 
 
@@ -305,7 +310,7 @@ def _result_to_payload(result: CutResult) -> Optional[dict]:
     if not all(isinstance(node, (int, str)) for node in result.side):
         return None
     try:
-        extras = _encode_extras(dict(result.extras))
+        extras = encode_extras(dict(result.extras))
     except ValueError:
         return None
     payload = {
@@ -335,10 +340,10 @@ def _result_from_payload(payload: dict) -> Optional[CutResult]:
             seed=payload["seed"],
             metrics=None,
             wall_time=float(payload["wall_time"]),
-            extras=_decode_extras(dict(payload["extras"])),
+            extras=decode_extras(dict(payload["extras"])),
         )
     except (KeyError, TypeError, ValueError):
         return None  # foreign/corrupt entry: treat as a miss
 
 
-__all__ = ["CacheKey", "ResultCache"]
+__all__ = ["CacheKey", "ResultCache", "decode_extras", "encode_extras"]

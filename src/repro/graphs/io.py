@@ -1,12 +1,19 @@
 """Graph serialisation and (optional) networkx interoperability.
 
-The edge-list format is one edge per line: ``u v weight``.  Node labels
-are written with ``repr`` round-tripping restricted to integers and
-strings so files stay human-editable.
+Two wire formats, both restricted to integer and string node labels so
+payloads stay human-editable and JSON-safe:
+
+* the *edge-list* text format — one edge per line, ``u v weight``
+  (:func:`write_edge_list` / :func:`read_edge_list` /
+  :func:`edge_list_from_text`);
+* the *JSON* form — ``{"nodes": [...], "edges": [[u, v, w], ...]}``
+  (:func:`graph_to_json` / :func:`graph_from_json`), the shape the
+  service layer (:mod:`repro.service`) accepts and emits.
 """
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import Union
 
@@ -38,8 +45,17 @@ def read_edge_list(path: Union[str, Path]) -> WeightedGraph:
     Node tokens that parse as integers become ``int`` nodes; everything
     else stays a string.
     """
+    return edge_list_from_text(Path(path).read_text(encoding="utf-8"))
+
+
+def edge_list_from_text(text: str) -> WeightedGraph:
+    """Parse edge-list *text* (the :func:`read_edge_list` file format).
+
+    The service layer uses this for requests that ship a graph as an
+    edge-list string instead of the JSON form.
+    """
     graph = WeightedGraph()
-    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+    for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -47,8 +63,15 @@ def read_edge_list(path: Union[str, Path]) -> WeightedGraph:
         if len(parts) == 1:
             graph.add_node(_parse_node(parts[0]))
         elif len(parts) == 3:
-            u, v, w = _parse_node(parts[0]), _parse_node(parts[1]), float(parts[2])
-            graph.add_edge(u, v, w)
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                raise GraphError(f"malformed edge-list line: {raw!r}") from None
+            if not math.isfinite(weight):
+                # float() happily parses 'nan'/'inf', and NaN slips past
+                # add_edge's `weight <= 0` guard to poison every cut.
+                raise GraphError(f"non-finite weight in edge-list line: {raw!r}")
+            graph.add_edge(_parse_node(parts[0]), _parse_node(parts[1]), weight)
         else:
             raise GraphError(f"malformed edge-list line: {raw!r}")
     return graph
@@ -59,6 +82,83 @@ def _parse_node(token: str):
         return int(token)
     except ValueError:
         return token
+
+
+def _check_json_node(node) -> None:
+    """Reject nodes the JSON form cannot carry faithfully.
+
+    ``bool`` is excluded explicitly: it *is* an ``int`` subclass, but a
+    graph whose node ``True`` silently merges with node ``1`` on the far
+    side of a JSON hop would corrupt cuts.
+    """
+    if isinstance(node, bool) or not isinstance(node, (int, str)):
+        raise GraphError(
+            f"JSON graph nodes must be integers or strings, got {node!r}"
+        )
+
+
+def graph_to_json(graph: WeightedGraph) -> dict:
+    """The JSON form of ``graph``: ``{"nodes": [...], "edges": [...]}``.
+
+    ``nodes`` lists every node (so isolated nodes survive); ``edges``
+    holds ``[u, v, weight]`` triples.  Raises :class:`GraphError` when a
+    node is neither an integer nor a string.
+    """
+    nodes = list(graph.nodes)
+    for node in nodes:
+        _check_json_node(node)
+    return {
+        "nodes": nodes,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+
+
+def graph_from_json(data: dict) -> WeightedGraph:
+    """Build a graph from the :func:`graph_to_json` form.
+
+    ``data`` must be a dict with an ``"edges"`` list of ``[u, v]`` or
+    ``[u, v, weight]`` entries and an optional ``"nodes"`` list;
+    anything else — unknown keys, malformed edges, non-JSON node types,
+    non-numeric weights — raises :class:`GraphError` with a message
+    naming the offending entry (the service layer surfaces these as
+    structured 4xx bodies).
+    """
+    if not isinstance(data, dict):
+        raise GraphError(
+            f"JSON graph must be an object with 'edges', got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"nodes", "edges"})
+    if unknown:
+        raise GraphError(f"unknown JSON graph keys: {', '.join(map(repr, unknown))}")
+    edges = data.get("edges", [])
+    nodes = data.get("nodes", [])
+    if not isinstance(edges, list) or not isinstance(nodes, list):
+        raise GraphError("JSON graph 'nodes' and 'edges' must be lists")
+    graph = WeightedGraph()
+    for node in nodes:
+        _check_json_node(node)
+        graph.add_node(node)
+    for position, edge in enumerate(edges):
+        if not isinstance(edge, (list, tuple)) or len(edge) not in (2, 3):
+            raise GraphError(
+                f"edge #{position} must be [u, v] or [u, v, weight], got {edge!r}"
+            )
+        u, v = edge[0], edge[1]
+        _check_json_node(u)
+        _check_json_node(v)
+        weight = edge[2] if len(edge) == 3 else 1.0
+        if (
+            isinstance(weight, bool)
+            or not isinstance(weight, (int, float))
+            # json.loads accepts NaN/Infinity by default, and NaN slips
+            # past add_edge's `weight <= 0` guard to poison every cut.
+            or not math.isfinite(weight)
+        ):
+            raise GraphError(
+                f"edge #{position} weight must be a finite number, got {weight!r}"
+            )
+        graph.add_edge(u, v, float(weight))
+    return graph
 
 
 def to_networkx(graph: WeightedGraph):

@@ -1,0 +1,45 @@
+"""Service layer: the façade served over JSON-per-request HTTP.
+
+The ROADMAP's "service layer over the façade" — a stdlib-only
+request/response server where batching and sharding land without
+touching any solver:
+
+* :mod:`~repro.service.protocol` — the wire format (graph payloads in
+  three forms, :class:`~repro.api.result.CutResult` JSON with the
+  cache's tagged extras encoding, structured error bodies);
+* :mod:`~repro.service.server` — :class:`ReproService` (transport-free
+  dispatch over :func:`repro.api.solve`/``solve_batch`` with **one**
+  shared :class:`~repro.exec.cache.ResultCache` across connections)
+  wrapped in a :class:`ThreadingHTTPServer`;
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the matching
+  typed client.
+
+Run one with ``python -m repro serve`` and talk to it with
+``python -m repro client`` or plain curl; see the README's
+"Service layer" section for the endpoint tour.
+"""
+
+from .client import ServiceClient
+from .protocol import (
+    PROTOCOL_VERSION,
+    cut_result_from_json,
+    cut_result_to_json,
+    parse_batch_request,
+    parse_graph,
+    parse_solve_request,
+)
+from .server import ReproHTTPServer, ReproService, ServiceConfig, create_server
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ReproHTTPServer",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
+    "create_server",
+    "cut_result_from_json",
+    "cut_result_to_json",
+    "parse_batch_request",
+    "parse_graph",
+    "parse_solve_request",
+]

@@ -1,0 +1,180 @@
+"""A small typed client for the repro service (stdlib ``urllib`` only).
+
+Used by the test suite, the ``python -m repro client`` CLI and the CI
+service-smoke job; also the reference implementation for anyone talking
+to the service from another process::
+
+    from repro.service import ServiceClient
+    from repro.graphs import planted_cut_graph
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    client.wait_until_ready()
+    graph = planted_cut_graph((12, 12), cut_value=3, seed=7)
+    result = client.solve(graph)             # -> repro.CutResult
+    assert result.matches(graph)             # witness verifies locally
+
+Every non-2xx response raises :class:`~repro.errors.ServiceError` with
+the HTTP status and the decoded structured error body in ``payload``;
+an unreachable service raises it with ``status=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Optional, Union
+
+from ..api.result import CutResult
+from ..errors import ServiceError
+from ..graphs.graph import WeightedGraph
+from ..graphs.io import graph_to_json
+from .protocol import cut_result_from_json
+
+#: Accepted graph arguments: a live graph, edge-list text, an edge
+#: array, or the JSON form — the latter three pass through verbatim.
+GraphPayload = Union[WeightedGraph, str, list, dict]
+
+
+def _graph_payload(graph: GraphPayload):
+    if isinstance(graph, WeightedGraph):
+        return graph_to_json(graph)
+    return graph
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                decoded = None
+            if not isinstance(decoded, dict):
+                # A proxy (or a non-repro server) may answer with
+                # non-JSON or a JSON array/scalar; still raise the
+                # typed error, with the raw body as the message.
+                decoded = {"error": {"message": body.decode("utf-8", "replace")}}
+            error = decoded.get("error")
+            if not isinstance(error, dict):
+                error = {"message": repr(error)}
+            message = error.get("message", exc.reason)
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {message}",
+                status=exc.code,
+                payload=decoded,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service at {self.base_url} unreachable: {exc.reason}", status=0
+            ) from None
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz`` — version, uptime, cache counters."""
+        return self._request("GET", "/healthz")
+
+    def solvers(self) -> list[dict]:
+        """``GET /solvers`` — the registry with capability metadata."""
+        return self._request("GET", "/solvers")["solvers"]
+
+    def solve(
+        self,
+        graph: GraphPayload,
+        solver: str = "auto",
+        *,
+        epsilon: Optional[float] = None,
+        mode: str = "reference",
+        seed: int = 0,
+        budget: Optional[int] = None,
+        **options: Any,
+    ) -> CutResult:
+        """``POST /solve`` — remote :func:`repro.api.solve`.
+
+        Same signature and semantics as the façade call; the returned
+        :class:`CutResult` additionally carries the server cache's
+        outcome under ``extras["cache"]``.
+        """
+        payload = {
+            "graph": _graph_payload(graph),
+            "solver": solver,
+            "epsilon": epsilon,
+            "mode": mode,
+            "seed": seed,
+            "budget": budget,
+            "options": options,
+        }
+        response = self._request("POST", "/solve", payload)
+        return cut_result_from_json(response["result"])
+
+    def solve_batch(
+        self,
+        graphs: Iterable[GraphPayload],
+        solver: str = "auto",
+        *,
+        epsilon: Optional[float] = None,
+        mode: str = "reference",
+        seed: int = 0,
+        budget: Optional[int] = None,
+        backend: Optional[str] = None,
+        **options: Any,
+    ) -> list[CutResult]:
+        """``POST /solve_batch`` — remote :func:`repro.api.solve_batch`.
+
+        ``backend`` names the *server-side* execution backend for the
+        fan-out (``serial``/``thread``/``process``); ``None`` uses the
+        server's configured default.
+        """
+        payload = {
+            "graphs": [_graph_payload(graph) for graph in graphs],
+            "solver": solver,
+            "epsilon": epsilon,
+            "mode": mode,
+            "seed": seed,
+            "budget": budget,
+            "backend": backend,
+            "options": options,
+        }
+        response = self._request("POST", "/solve_batch", payload)
+        return [cut_result_from_json(result) for result in response["results"]]
+
+    # -- convenience ---------------------------------------------------
+
+    def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the service answers (startup races).
+
+        Returns the first healthy payload; raises
+        :class:`ServiceError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServiceError as exc:
+                if exc.status != 0 or time.monotonic() >= deadline:
+                    raise
+            time.sleep(interval)
+
+
+__all__ = ["GraphPayload", "ServiceClient"]

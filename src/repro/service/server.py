@@ -1,0 +1,353 @@
+"""The request/response server over the :mod:`repro.api` façade.
+
+Architecture — three layers, separable on purpose:
+
+* :class:`ReproService` is the transport-free core: a ``dispatch``
+  method mapping ``(method, path, body bytes)`` onto
+  ``(status, payload dict)``.  It owns the long-lived state — the
+  solver registry, **one shared** :class:`~repro.exec.cache.ResultCache`
+  consulted by every request (optionally disk-backed), request
+  counters and the start timestamp — and funnels all algorithm work
+  through :func:`repro.api.solve` / :func:`repro.api.solve_batch`, so
+  requests become the same :class:`~repro.exec.task.SolveTask` fan-out
+  the CLI's ``sweep`` uses, on the same ``serial``/``thread``/
+  ``process`` backends.
+* :class:`ReproHTTPServer` + the request handler wrap the core in a
+  stdlib :class:`~http.server.ThreadingHTTPServer` (JSON over HTTP,
+  no new dependencies), with an optional access-log file.
+* :mod:`repro.service.client` speaks the same protocol back.
+
+Endpoints::
+
+    POST /solve        one graph  -> one CutResult
+    POST /solve_batch  many graphs -> many CutResults (backend knob)
+    GET  /solvers      the registry with capability + cost metadata
+    GET  /healthz      version, uptime, cache hit/miss counters
+
+Error contract: every non-2xx response is a structured JSON body
+``{"error": {"type", "message", "status"}}`` where ``type`` is the
+:mod:`repro.errors` class name — envelope problems are 400
+(:class:`~repro.errors.ServiceError`), instances over the configured
+limits are 413, unknown paths 404, wrong verbs 405, and anything a
+solver raises on a validated instance is a 400 naming the library
+exception (``AlgorithmError``, ``DisconnectedGraphError``, ...).
+
+Concurrency model: the HTTP layer threads per connection, but solver
+work is serialised behind one lock — CPU-bound pure-Python solvers gain
+nothing from interleaving, and the shared cache's LRU bookkeeping is
+not thread-safe.  Parallelism belongs to the *backend* knob (a batch
+request fans out across processes); cross-machine sharding is the
+ROADMAP item this seam was built for.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+from ..api.facade import solve, solve_batch
+from ..api.registry import SolverRegistry, default_registry
+from ..errors import ReproError, ServiceError
+from ..exec.cache import ResultCache
+from .protocol import (
+    PROTOCOL_VERSION,
+    cut_result_to_json,
+    error_body,
+    json_default,
+    parse_batch_request,
+    parse_solve_request,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operator-facing limits and defaults for one service process.
+
+    ``max_nodes`` / ``max_batch`` bound a single request's instance size
+    and batch length (over-limit requests get a structured 413 instead
+    of tying up the solver lock); ``max_body_bytes`` bounds the raw
+    request body and is enforced from the ``Content-Length`` header
+    *before* any byte is read or parsed, so an oversized POST cannot
+    make a handler thread buffer it first.  ``backend`` is the default
+    execution backend for ``/solve_batch`` when the request does not
+    name one (``None`` defers to ``$REPRO_BACKEND`` / serial).
+    """
+
+    max_nodes: Optional[int] = 4096
+    max_batch: Optional[int] = 256
+    max_body_bytes: Optional[int] = 32 * 1024 * 1024
+    backend: Optional[str] = None
+
+
+class ReproService:
+    """Transport-free request handling over the façade (see module doc)."""
+
+    def __init__(
+        self,
+        registry: Optional[SolverRegistry] = None,
+        cache: Optional[ResultCache] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache if cache is not None else ResultCache()
+        self.config = config if config is not None else ServiceConfig()
+        self.started = time.time()
+        self.counters = {"solve": 0, "solve_batch": 0, "errors": 0}
+        self._solve_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    # -- dispatch ------------------------------------------------------
+
+    def dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Route one request; never raises — errors become 4xx/5xx bodies."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        routes = {
+            "/healthz": ("GET", self._handle_health),
+            "/solvers": ("GET", self._handle_solvers),
+            "/solve": ("POST", self._handle_solve),
+            "/solve_batch": ("POST", self._handle_batch),
+        }
+        try:
+            if path not in routes:
+                raise ServiceError(f"unknown path {path!r}", status=404)
+            expected, handler = routes[path]
+            if method != expected:
+                raise ServiceError(
+                    f"{path} expects {expected}, got {method}", status=405
+                )
+            payload = self._decode_body(body) if expected == "POST" else None
+            return 200, handler(payload)
+        except ServiceError as exc:
+            return self._error(exc, exc.status)
+        except ReproError as exc:
+            # A library-raised condition on an otherwise well-formed
+            # request (disconnected graph, unknown solver, solver
+            # precondition): the client's fault, structurally reported.
+            return self._error(exc, 400)
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            return self._error(exc, 500)
+
+    def _decode_body(self, body: bytes) -> object:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ServiceError("request body is not valid JSON") from None
+
+    def _error(self, exc: Exception, status: int) -> tuple[int, dict]:
+        with self._stats_lock:
+            self.counters["errors"] += 1
+        return status, error_body(exc, status)
+
+    def _count(self, endpoint: str) -> None:
+        with self._stats_lock:
+            self.counters[endpoint] += 1
+
+    # -- endpoints -----------------------------------------------------
+
+    def _check_size(self, graph, label: str = "graph") -> None:
+        limit = self.config.max_nodes
+        if limit is not None and graph.number_of_nodes > limit:
+            raise ServiceError(
+                f"{label} has {graph.number_of_nodes} nodes, over this "
+                f"service's limit of {limit}",
+                status=413,
+            )
+
+    def _handle_solve(self, body: object) -> dict:
+        request = parse_solve_request(body)
+        graph = request["graph"]
+        self._check_size(graph)
+        self._count("solve")
+        with self._solve_lock:
+            result = solve(
+                graph,
+                request["solver"],
+                epsilon=request["epsilon"],
+                mode=request["mode"],
+                seed=request["seed"],
+                budget=request["budget"],
+                registry=self.registry,
+                cache=self.cache,
+                **request["options"],
+            )
+        return {"result": cut_result_to_json(result)}
+
+    def _handle_batch(self, body: object) -> dict:
+        request = parse_batch_request(body)
+        graphs = request["graphs"]
+        limit = self.config.max_batch
+        if limit is not None and len(graphs) > limit:
+            raise ServiceError(
+                f"batch of {len(graphs)} graphs is over this service's "
+                f"limit of {limit}",
+                status=413,
+            )
+        for position, graph in enumerate(graphs):
+            self._check_size(graph, label=f"graph #{position}")
+        self._count("solve_batch")
+        backend = request["backend"] or self.config.backend
+        with self._solve_lock:
+            results = solve_batch(
+                graphs,
+                request["solver"],
+                epsilon=request["epsilon"],
+                mode=request["mode"],
+                seed=request["seed"],
+                budget=request["budget"],
+                registry=self.registry,
+                backend=backend,
+                cache=self.cache,
+                **request["options"],
+            )
+        return {"results": [cut_result_to_json(result) for result in results]}
+
+    def _handle_solvers(self, _body: object) -> dict:
+        return {
+            "solvers": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "guarantee": spec.guarantee,
+                    "display": spec.display,
+                    "summary": spec.summary,
+                    "supports_congest": spec.supports_congest,
+                    "requires_integer_weights": spec.requires_integer_weights,
+                    "randomized": spec.randomized,
+                    "max_nodes": spec.max_nodes,
+                    "heavy": spec.heavy,
+                    "cost@(100,300)": (
+                        spec.cost_model(100, 300)
+                        if spec.cost_model is not None
+                        else None
+                    ),
+                }
+                for spec in self.registry
+            ]
+        }
+
+    def _handle_health(self, _body: object) -> dict:
+        from .. import __version__
+
+        with self._stats_lock:
+            counters = dict(self.counters)
+        return {
+            "status": "ok",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started,
+            "solvers": len(self.registry),
+            "cache": self.cache.stats(),
+            "requests": counters,
+        }
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Thin HTTP shim: read body, call ``dispatch``, write JSON."""
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming contract
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming contract
+        self._respond("POST")
+
+    def _respond(self, method: str) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        limit = self.server.service.config.max_body_bytes
+        if limit is not None and length > limit:
+            # Refuse before reading a single body byte; the unread body
+            # makes the connection unusable, so close it.
+            self.close_connection = True
+            status, payload = 413, error_body(
+                ServiceError(
+                    f"request body of {length} bytes is over this "
+                    f"service's limit of {limit}",
+                    status=413,
+                ),
+                413,
+            )
+        else:
+            body = self.rfile.read(length) if length > 0 else b""
+            status, payload = self.server.service.dispatch(method, self.path, body)
+        blob = json.dumps(payload, default=json_default).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        line = "%s - - [%s] %s\n" % (
+            self.address_string(), self.log_date_time_string(), format % args,
+        )
+        stream = self.server.access_log or sys.stderr
+        stream.write(line)
+        stream.flush()
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """:class:`ThreadingHTTPServer` bound to one :class:`ReproService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ReproService,
+        access_log_path: Union[str, Path, None] = None,
+    ) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.access_log = (
+            open(access_log_path, "a", encoding="utf-8")
+            if access_log_path is not None
+            else None
+        )
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.access_log is not None:
+            self.access_log.close()
+            self.access_log = None
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    registry: Optional[SolverRegistry] = None,
+    cache: Optional[ResultCache] = None,
+    config: Optional[ServiceConfig] = None,
+    access_log: Union[str, Path, None] = None,
+) -> ReproHTTPServer:
+    """Build a ready-to-serve HTTP server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` to block (or run
+    it in a thread, as the tests do) and ``server_close()`` to release
+    the socket and the access log.
+    """
+    service = ReproService(registry=registry, cache=cache, config=config)
+    return ReproHTTPServer((host, port), service, access_log_path=access_log)
+
+
+__all__ = [
+    "ReproHTTPServer",
+    "ReproService",
+    "ServiceConfig",
+    "create_server",
+]
