@@ -1,0 +1,157 @@
+"""P2 — index-first centralized baselines: GraphIndex vs per-call rebuilds.
+
+Not a paper claim: this is the library's own performance trajectory
+(the first slice of the ROADMAP "index-first algorithms" item).  Prim
+and Stoer–Wagner historically rebuilt ``{u: {v: w}}`` adjacency (or
+walked ``neighbors()``/``weight()`` per edge) on every call; they now
+read the cached :class:`~repro.graphs.index.GraphIndex` — Stoer–Wagner
+seeds its contractible super-node adjacency from the index's per-node
+weight maps, Prim scans CSR slices — so one shared index serves the
+whole ``compare`` fan-out.
+
+Regenerated series: the legacy access patterns are preserved inline
+here as the "before" reference and timed against the shipped
+index-based implementations on the standard families.  The tree /
+cut-value equality of both paths is asserted on every instance (the
+index port must be a pure access-path change), and the table records
+the before/after wall times for (a) the adjacency-rebuild slice alone
+and (b) the end-to-end algorithms.
+"""
+
+import heapq
+import os
+import timeit
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+from repro.graphs import build_family
+from repro.graphs.trees import RootedTree
+from repro.mst.kruskal import edge_total_order
+from repro.mst.prim import minimum_spanning_tree_prim
+
+FAMILIES = (("gnp", 160), ("grid", 225), ("complete", 96))
+
+
+def _legacy_rebuild(graph):
+    """The pre-PR-5 Stoer–Wagner adjacency construction, verbatim."""
+    return {
+        u: {v: graph.weight(u, v) for v in graph.neighbors(u)}
+        for u in graph.nodes
+    }
+
+
+def _index_rebuild(graph):
+    """The shipped construction: copy the index's per-node weight maps."""
+    index = graph.index()
+    return {u: dict(w) for u, w in zip(index.nodes, index.weight_maps)}
+
+
+def _legacy_prim(graph, root=None):
+    """The pre-PR-5 Prim loop (dict walks per edge), verbatim."""
+    graph.require_connected()
+    start = root if root is not None else graph.nodes[0]
+    parent = {}
+    in_tree = {start}
+    heap = [
+        (edge_total_order(start, v, graph.weight(start, v)), start, v)
+        for v in graph.neighbors(start)
+    ]
+    heapq.heapify(heap)
+    while heap and len(in_tree) < graph.number_of_nodes:
+        _rank, u, v = heapq.heappop(heap)
+        if v in in_tree:
+            continue
+        in_tree.add(v)
+        parent[v] = u
+        for w in graph.neighbors(v):
+            if w not in in_tree:
+                heapq.heappush(
+                    heap, (edge_total_order(v, w, graph.weight(v, w)), v, w)
+                )
+    return RootedTree(start, parent)
+
+
+def _best(fn, number, repeat=3):
+    return min(timeit.repeat(fn, number=number, repeat=repeat)) / number
+
+
+def _experiment():
+    rows = []
+    before_total = after_total = 0.0
+    for family, n in FAMILIES:
+        graph = build_family(family, n, seed=1)
+        graph.require_connected()
+        graph.index()  # pre-build: the index is cached and shared anyway
+
+        # Identity: the index port is an access-path change only.
+        assert _legacy_rebuild(graph) == _index_rebuild(graph)
+        legacy_tree = _legacy_prim(graph)
+        indexed_tree = minimum_spanning_tree_prim(graph)
+        assert sorted(legacy_tree.edges()) == sorted(indexed_tree.edges())
+        assert legacy_tree.root == indexed_tree.root
+        cut = stoer_wagner_min_cut(graph)
+        assert cut.matches(graph)
+
+        rebuild_before = _best(lambda: _legacy_rebuild(graph), 50)
+        rebuild_after = _best(lambda: _index_rebuild(graph), 50)
+        prim_before = _best(lambda: _legacy_prim(graph), 10)
+        prim_after = _best(lambda: minimum_spanning_tree_prim(graph), 10)
+        sw_after = _best(lambda: stoer_wagner_min_cut(graph), 2)
+        before_total += rebuild_before + prim_before
+        after_total += rebuild_after + prim_after
+        rows.append(
+            [
+                family,
+                graph.number_of_nodes,
+                graph.number_of_edges,
+                round(rebuild_before * 1e6, 1),
+                round(rebuild_after * 1e6, 1),
+                round(rebuild_before / rebuild_after, 1),
+                round(prim_before * 1e3, 3),
+                round(prim_after * 1e3, 3),
+                round(prim_before / prim_after, 2),
+                round(sw_after * 1e3, 2),
+            ]
+        )
+    return rows, before_total / after_total
+
+
+def test_p2_index_baselines(benchmark, record_table):
+    rows, aggregate_speedup = run_once(benchmark, _experiment)
+    table = format_table(
+        [
+            "family",
+            "n",
+            "m",
+            "rebuild before us",
+            "rebuild after us",
+            "speedup",
+            "prim before ms",
+            "prim after ms",
+            "speedup",
+            "stoer-wagner ms",
+        ],
+        rows,
+        title=(
+            "P2 — index-first centralized baselines (Prim / Stoer–Wagner)\n"
+            "before: per-call {u: {v: w}} rebuilds and neighbors()/weight() "
+            "walks; after: cached GraphIndex views\n"
+            "identical trees and adjacency asserted per instance; "
+            "Stoer–Wagner end-to-end shown for scale (its n-1 contraction "
+            "phases dominate, so the rebuild win is a fixed setup saving)"
+        ),
+    )
+    table += (
+        "\n\naggregate rebuild+prim speedup "
+        f"(sum before / sum after): {aggregate_speedup:.2f}x"
+    )
+    record_table("P2_index_baselines", table)
+
+    # Identity is always enforced above; the wall-clock floor only means
+    # something on a quiet machine (same policy as P1).
+    if not benchmark.disabled and not os.environ.get("CI"):
+        assert aggregate_speedup >= 1.1
+        # The rebuild slice itself must clearly win on every family.
+        assert all(row[5] > 2.0 for row in rows)

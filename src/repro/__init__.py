@@ -2,13 +2,16 @@
 
 Public API highlights
 ---------------------
-* :func:`repro.solve` / :func:`repro.solve_all` /
-  :func:`repro.solve_batch` — the unified façade over every registered
-  min-cut solver, returning canonical :class:`repro.CutResult` objects
+* :class:`repro.Engine` — the configurable session object (registry,
+  backend, cache, budget policy) behind everything; the module-level
+  :func:`repro.solve` / :func:`repro.solve_all` /
+  :func:`repro.solve_batch` façade delegates to a process-wide default
+  engine and returns canonical :class:`repro.CutResult` objects
   (see :mod:`repro.api`).
-* :mod:`repro.exec` — execution backends (``serial``/``thread``/
-  ``process``, the façade's ``backend=`` knob) and
-  :class:`repro.ResultCache`, the content-addressed result cache.
+* :mod:`repro.exec` — registered execution backends (``serial``/
+  ``thread``/``process``/``remote``, the ``backend=`` knob) and
+  :class:`repro.ResultCache`, the content-addressed result cache with
+  a versioned, mergeable on-disk tier (``python -m repro cache``).
 * :mod:`repro.service` — the façade served over JSON-per-request HTTP
   (``python -m repro serve`` / :class:`repro.service.ServiceClient`),
   one shared result cache across connections.  Imported lazily — the
@@ -25,8 +28,10 @@ Public API highlights
 
 from .api import (
     CutResult,
+    Engine,
     SolverRegistry,
     SolverSpec,
+    default_engine,
     default_registry,
     register_solver,
     solve,
@@ -63,10 +68,12 @@ __all__ = [
     "WeightedGraph",
     "CacheKey",
     "CutResult",
+    "Engine",
     "ResultCache",
     "resolve_backend",
     "SolverRegistry",
     "SolverSpec",
+    "default_engine",
     "default_registry",
     "register_solver",
     "solve",

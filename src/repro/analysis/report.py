@@ -32,6 +32,7 @@ EXPERIMENT_ORDER = [
     "A3_respect_ablation",
     "A4_certified_bounds",
     "P1_engine_throughput",
+    "P2_index_baselines",
 ]
 
 HEADER = (

@@ -22,10 +22,17 @@ Modules
     The built-in adapters (imported lazily via
     :func:`default_registry` to avoid import cycles with the algorithm
     modules).
+:mod:`~repro.api.engine`
+    :class:`Engine` — the configurable session object owning registry,
+    backend, cache and budget policy, with ``solve``/``solve_all``/
+    ``solve_batch``/``compare`` methods plus the task plane
+    (``build_batch_tasks``/``solve_tasks``) and cache warm-start.
 :mod:`~repro.api.facade`
-    ``solve`` / ``solve_all`` / ``solve_batch``.
+    ``solve`` / ``solve_all`` / ``solve_batch`` — thin delegations to
+    the process-wide default engine (:func:`default_engine`).
 """
 
+from .engine import Engine, default_engine
 from .facade import solve, solve_all, solve_batch
 from .registry import (
     DEFAULT_REGISTRY,
@@ -42,6 +49,8 @@ from .result import CutResult
 __all__ = [
     "CutResult",
     "DEFAULT_REGISTRY",
+    "Engine",
+    "default_engine",
     "GUARANTEE_RANK",
     "SOLVER_KINDS",
     "SolverRegistry",

@@ -1,0 +1,643 @@
+"""The Engine: a configurable session object over the solver registry.
+
+Historically the module-level façade (``solve`` / ``solve_all`` /
+``solve_batch``) threaded an ever-growing set of per-call kwargs —
+``registry=``, ``backend=``, ``cache=``, ``budget=`` — through every
+layer, and anything long-lived (the HTTP service, a benchmark sweep, a
+shard router) had to re-pass them on every call.  :class:`Engine`
+separates the *policy* object that owns those choices from the
+per-request call:
+
+    from repro.api import Engine
+    from repro.exec import ResultCache
+
+    engine = Engine(cache=ResultCache(path="results.json"),
+                    backend="process", budget=50_000)
+    result = engine.solve(graph)            # engine defaults apply
+    results = engine.solve_batch(graphs)    # cached + process fan-out
+    table = engine.compare(graph)           # ground truth first
+
+Configuration precedence is uniform: **explicit call argument >
+engine default > environment** (``$REPRO_BACKEND`` for the backend
+knob).  The module-level façade functions are thin delegations to one
+process-wide default engine (:func:`default_engine`), so the historic
+surface keeps working unchanged — same signatures, same env fallbacks,
+same results.
+
+Engines also own the **task plane**: :meth:`Engine.build_batch_tasks`
+freezes a batch call into :class:`~repro.exec.task.SolveTask` objects
+(optionally with per-task seed/solver overrides — the wire form the
+service layer and the ``remote`` backend exchange) and
+:meth:`Engine.solve_tasks` runs any task list through the configured
+backend and cache.  ``repro serve`` constructs an Engine per process;
+a shard router is literally ``Engine(backend=RemoteExecutor([...]))``.
+
+Cache warm-start rides on the same object: ``Engine(cache=path)``
+opens a persistent cache in place, and :meth:`Engine.warm_start`
+merges previously recorded cache files (e.g. the output of
+``python -m repro cache merge``) so the first sweep already hits.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from ..errors import AlgorithmError, ReproError
+from ..exec.backends import Executor, resolve_backend
+from ..exec.cache import CacheKey, ResultCache
+from ..exec.task import SolveTask
+from ..graphs.graph import WeightedGraph
+from .registry import SolverRegistry, SolverSpec, default_registry
+from .result import CutResult
+
+Backend = Union[str, Executor, None]
+
+#: Sentinel distinguishing "argument not given" from an explicit ``None``
+#: (``cache=None`` must mean "no cache", not "the engine's cache").
+_UNSET = object()
+
+
+class Engine:
+    """A session object owning registry, backend, cache and solver knobs.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`SolverRegistry` to resolve solver names against
+        (default: the library registry with every built-in solver).
+    backend:
+        Default execution backend for batch entry points — a registered
+        name (``"serial"``/``"thread"``/``"process"``/``"remote"``/...),
+        an :class:`~repro.exec.backends.Executor` instance, or ``None``
+        to defer to ``$REPRO_BACKEND`` then ``"serial"``.
+    cache:
+        Default :class:`~repro.exec.cache.ResultCache` consulted by
+        every call.  A ``str``/``Path`` opens a persistent cache on
+        that file (the warm-start workflow); ``None`` disables caching.
+    solver / epsilon / mode / seed / budget:
+        Default solver knobs, overridable per call.  Semantics are the
+        façade's: ``solver="auto"`` picks by capability (and treats
+        ``budget`` as an expected-cost ceiling), a named solver
+        receives ``budget`` as its effort cap.
+
+    Every method resolves configuration as **explicit argument > engine
+    default > environment**, and returns the same canonical
+    :class:`CutResult` objects as the module-level façade.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[SolverRegistry] = None,
+        backend: Backend = None,
+        cache: Union[ResultCache, str, Path, None] = None,
+        solver: str = "auto",
+        epsilon: Optional[float] = None,
+        mode: str = "reference",
+        seed: int = 0,
+        budget: Optional[int] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.backend = backend
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(path=cache)
+        self.cache = cache
+        self.solver = solver
+        self.epsilon = epsilon
+        self.mode = mode
+        self.seed = seed
+        self.budget = budget
+        # The process-wide default engine keeps the historic façade
+        # surface (module-level functions forwarding raw kwargs) warning
+        # -free; explicit engines deprecate raw backend=/cache= kwargs
+        # in favour of engine configuration.
+        self._warn_raw_kwargs = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backend = (
+            self.backend if isinstance(self.backend, (str, type(None))) else self.backend.name
+        )
+        return (
+            f"Engine(backend={backend!r}, cache={'on' if self.cache else 'off'}, "
+            f"solver={self.solver!r}, solvers={len(self.registry)})"
+        )
+
+    # -- configuration resolution ---------------------------------------
+
+    def _pick(self, value, default):
+        return default if value is _UNSET else value
+
+    def _pick_registry(self, registry) -> SolverRegistry:
+        if registry is _UNSET or registry is None:
+            return self.registry
+        return registry
+
+    def _deprecate_raw(self, **kwargs) -> None:
+        """Deprecate per-call ``backend=``/``cache=`` on explicit engines.
+
+        The sunset path for the kwarg-threading style: when a session
+        object is in play, transport and cache belong to the session —
+        configure them on the :class:`Engine` (or build a second engine)
+        instead of re-passing them per call.  The module-level façade
+        (which forwards through the default engine) never warns, so the
+        historic surface stays quiet.
+        """
+        if not self._warn_raw_kwargs:
+            return
+        passed = [name for name, value in kwargs.items() if value is not _UNSET]
+        if passed:
+            warnings.warn(
+                f"passing {'/'.join(passed)}= per call on an explicit Engine "
+                "is deprecated; configure them on the Engine "
+                "(Engine(backend=..., cache=...)) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    # -- the façade surface ---------------------------------------------
+
+    def solve(
+        self,
+        graph: WeightedGraph,
+        solver: Union[str, object] = _UNSET,
+        *,
+        epsilon: Union[Optional[float], object] = _UNSET,
+        mode: Union[str, object] = _UNSET,
+        seed: Union[int, object] = _UNSET,
+        budget: Union[Optional[int], object] = _UNSET,
+        registry: Union[Optional[SolverRegistry], object] = _UNSET,
+        cache: Union[Optional[ResultCache], object] = _UNSET,
+        **options: Any,
+    ) -> CutResult:
+        """Compute a minimum cut of ``graph`` with one registered solver.
+
+        Same contract as :func:`repro.api.solve`, with unset knobs
+        falling back to this engine's defaults.
+        """
+        self._deprecate_raw(cache=cache)
+        return self._solve(
+            graph,
+            solver=self._pick(solver, self.solver),
+            epsilon=self._pick(epsilon, self.epsilon),
+            mode=self._pick(mode, self.mode),
+            seed=self._pick(seed, self.seed),
+            budget=self._pick(budget, self.budget),
+            registry=self._pick_registry(registry),
+            cache=self._pick(cache, self.cache),
+            options=options,
+        )
+
+    def solve_all(
+        self,
+        graph: WeightedGraph,
+        *,
+        epsilon: Union[Optional[float], object] = _UNSET,
+        mode: Union[str, object] = _UNSET,
+        seed: Union[int, object] = _UNSET,
+        budget: Union[Optional[int], object] = _UNSET,
+        kinds: Optional[Sequence[str]] = None,
+        names: Optional[Sequence[str]] = None,
+        include_heavy: bool = False,
+        registry: Union[Optional[SolverRegistry], object] = _UNSET,
+        backend: Union[Backend, object] = _UNSET,
+        cache: Union[Optional[ResultCache], object] = _UNSET,
+    ) -> list[CutResult]:
+        """Run every applicable registered solver on ``graph``.
+
+        Same contract as :func:`repro.api.solve_all`, with unset knobs
+        falling back to this engine's defaults.
+        """
+        self._deprecate_raw(backend=backend, cache=cache)
+        return self._solve_all(
+            graph,
+            epsilon=self._pick(epsilon, self.epsilon),
+            mode=self._pick(mode, self.mode),
+            seed=self._pick(seed, self.seed),
+            budget=self._pick(budget, self.budget),
+            kinds=kinds,
+            names=names,
+            include_heavy=include_heavy,
+            registry=self._pick_registry(registry),
+            backend=self._pick(backend, self.backend),
+            cache=self._pick(cache, self.cache),
+        )
+
+    def solve_batch(
+        self,
+        graphs: Iterable[WeightedGraph],
+        solver: Union[str, object] = _UNSET,
+        *,
+        epsilon: Union[Optional[float], object] = _UNSET,
+        mode: Union[str, object] = _UNSET,
+        seed: Union[int, object] = _UNSET,
+        budget: Union[Optional[int], object] = _UNSET,
+        registry: Union[Optional[SolverRegistry], object] = _UNSET,
+        backend: Union[Backend, object] = _UNSET,
+        cache: Union[Optional[ResultCache], object] = _UNSET,
+        **options: Any,
+    ) -> list[CutResult]:
+        """``solve`` mapped over many graphs (one result per graph, in order).
+
+        Same contract as :func:`repro.api.solve_batch`, with unset knobs
+        falling back to this engine's defaults.
+        """
+        self._deprecate_raw(backend=backend, cache=cache)
+        registry = self._pick_registry(registry)
+        tasks = self.build_batch_tasks(
+            graphs,
+            solver=self._pick(solver, self.solver),
+            epsilon=self._pick(epsilon, self.epsilon),
+            mode=self._pick(mode, self.mode),
+            seed=self._pick(seed, self.seed),
+            budget=self._pick(budget, self.budget),
+            options=options,
+            registry=registry,
+        )
+        return self.solve_tasks(
+            tasks,
+            registry=registry,
+            backend=self._pick(backend, self.backend),
+            cache=self._pick(cache, self.cache),
+        )
+
+    def compare(
+        self,
+        graph: WeightedGraph,
+        *,
+        epsilon: Union[Optional[float], object] = _UNSET,
+        mode: Union[str, object] = _UNSET,
+        seed: Union[int, object] = _UNSET,
+        names: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+        include_heavy: bool = False,
+        backend: Union[Backend, object] = _UNSET,
+        cache: Union[Optional[ResultCache], object] = _UNSET,
+    ) -> list[CutResult]:
+        """The compare workload: every applicable solver plus ground truth.
+
+        Runs :meth:`solve_all`, guarantees the registry's ground-truth
+        solver is represented (running it separately when filtered out
+        or inapplicable by name selection), and returns the results
+        with the ground-truth entry first — the shape the CLI's
+        ``compare`` table and the registry-driven benchmarks consume.
+        """
+        self._deprecate_raw(backend=backend, cache=cache)
+        epsilon = self._pick(epsilon, self.epsilon)
+        mode = self._pick(mode, self.mode)
+        seed = self._pick(seed, self.seed)
+        cache = self._pick(cache, self.cache)
+        results = self._solve_all(
+            graph,
+            epsilon=epsilon,
+            mode=mode,
+            seed=seed,
+            budget=None,
+            kinds=kinds,
+            names=names,
+            include_heavy=include_heavy,
+            registry=self.registry,
+            backend=self._pick(backend, self.backend),
+            cache=cache,
+        )
+        truth_name = self.registry.ground_truth().name
+        if all(result.solver != truth_name for result in results):
+            results.insert(
+                0,
+                self._solve(
+                    graph,
+                    solver=truth_name,
+                    epsilon=None,
+                    mode="reference",
+                    seed=seed,
+                    budget=None,
+                    registry=self.registry,
+                    cache=cache,
+                    options={},
+                ),
+            )
+        results.sort(key=lambda result: result.solver != truth_name)
+        return results
+
+    # -- the task plane --------------------------------------------------
+
+    def build_batch_tasks(
+        self,
+        graphs: Iterable[WeightedGraph],
+        *,
+        solver: str = "auto",
+        epsilon: Optional[float] = None,
+        mode: str = "reference",
+        seed: int = 0,
+        budget: Optional[int] = None,
+        options: Optional[dict[str, Any]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        solvers: Optional[Sequence[str]] = None,
+        registry: Optional[SolverRegistry] = None,
+    ) -> list[SolveTask]:
+        """Freeze a batch call into :class:`SolveTask` objects.
+
+        Graph ``i`` gets seed ``seed + i`` and the resolved name of
+        ``solver`` — unless ``seeds`` / ``solvers`` supply per-task
+        overrides (the wire form a shard router exchanges: a shard's
+        tasks keep their original frozen seeds and resolved solver
+        names, so re-running them anywhere is bit-identical).  Each
+        graph is validated and its solver resolved up front; failures
+        raise :class:`AlgorithmError` naming the graph index.  With
+        ``solver="auto"``, ``budget`` steers selection and is *not*
+        frozen into the tasks (the pick runs at default effort).
+        """
+        registry = registry if registry is not None else self.registry
+        frozen_options = tuple(sorted((options or {}).items()))
+        graphs = list(graphs)
+        for name, override in (("seeds", seeds), ("solvers", solvers)):
+            if override is not None and len(override) != len(graphs):
+                raise AlgorithmError(
+                    f"solve_batch: {name} override has {len(override)} "
+                    f"entr{'y' if len(override) == 1 else 'ies'} for "
+                    f"{len(graphs)} graph(s)"
+                )
+        tasks = []
+        for index, graph in enumerate(graphs):
+            wanted = solver if solvers is None else solvers[index]
+            try:
+                graph.require_connected()
+                spec = _resolve_spec(
+                    registry, graph, wanted, mode=mode, epsilon=epsilon,
+                    budget=budget,
+                )
+            except ReproError as exc:
+                raise AlgorithmError(f"solve_batch: graph #{index}: {exc}") from exc
+            tasks.append(
+                SolveTask(
+                    graph=graph,
+                    solver=spec.name,
+                    epsilon=epsilon,
+                    mode=mode,
+                    seed=seed + index if seeds is None else seeds[index],
+                    budget=None if wanted == "auto" else budget,
+                    options=frozen_options,
+                    label=f"graph #{index}",
+                )
+            )
+        return tasks
+
+    def solve_tasks(
+        self,
+        tasks: Sequence[SolveTask],
+        *,
+        registry: Union[Optional[SolverRegistry], object] = _UNSET,
+        backend: Union[Backend, object] = _UNSET,
+        cache: Union[Optional[ResultCache], object] = _UNSET,
+    ) -> list[CutResult]:
+        """Run pre-built tasks through the configured backend and cache.
+
+        The programmatic seam under every batch entry point (and the
+        one the service's batch endpoint calls), so it does **not**
+        deprecate raw ``backend=``/``cache=`` arguments: callers at
+        this level are routing work, not configuring a session.
+
+        Cache lookups and stores happen in the calling process (worker
+        processes cannot share the cache object), so only misses are
+        dispatched; results come back in task order either way.
+        Backends return failures as captured exceptions; with a cache
+        attached every completed result is cached (memory + one disk
+        flush) before the first failure — in task order — is raised,
+        while without one the serial backend stops at the failure
+        instead of computing results nobody will see.
+        """
+        registry = self._pick_registry(registry)
+        backend = self._pick(backend, self.backend)
+        cache = self._pick(cache, self.cache)
+        executor = resolve_backend(backend)  # validate even if every task hits
+        tasks = list(tasks)
+        results: list[Optional[CutResult]] = [None] * len(tasks)
+        if cache is not None:
+            pending: list[tuple[int, SolveTask]] = []
+            keys = {}
+            for position, task in enumerate(tasks):
+                key = task.cache_key()
+                keys[position] = key
+                hit = cache.get(key)
+                if hit is not None:
+                    results[position] = _stamp_cache(hit, cache, hit=True)
+                else:
+                    pending.append((position, task))
+        else:
+            pending = list(enumerate(tasks))
+        if pending:
+            computed = executor.run_tasks(
+                [task for _, task in pending],
+                registry=registry,
+                keep_going=cache is not None,  # completed work is only worth
+            )                                  # finishing if it can be cached
+            failure: Optional[Exception] = None
+            for (position, _task), outcome in zip(pending, computed):
+                if isinstance(outcome, Exception):
+                    if failure is None:
+                        failure = outcome
+                    continue
+                if cache is not None:
+                    cache.put(keys[position], outcome, flush=False)
+                    outcome = _stamp_cache(outcome, cache, hit=False)
+                results[position] = outcome
+            if cache is not None:
+                cache.flush()  # one disk write per batch, not per store
+            if failure is not None:
+                raise failure
+        return results  # type: ignore[return-value]  (every slot is filled)
+
+    # -- warm start ------------------------------------------------------
+
+    def warm_start(
+        self, *sources: Union[ResultCache, str, Path], flush: bool = True
+    ) -> int:
+        """Merge recorded cache files (or live caches) into this engine.
+
+        The cache warm-start workflow: record caches during benchmark or
+        sharded-sweep runs, merge them (``python -m repro cache merge``
+        or directly here), and the engine's first sweep over the same
+        instances is all hits.  Creates a memory-backed cache when the
+        engine has none.  Returns the number of entries adopted.
+        """
+        if self.cache is None:
+            self.cache = ResultCache()
+        adopted = 0
+        for source in sources:
+            adopted += self.cache.merge_from(source, flush=False)
+        if adopted and flush:
+            self.cache.flush()
+        return adopted
+
+    # -- internals (default-resolved values, no deprecation checks) ------
+
+    def _solve(
+        self,
+        graph: WeightedGraph,
+        *,
+        solver: str,
+        epsilon: Optional[float],
+        mode: str,
+        seed: int,
+        budget: Optional[int],
+        registry: SolverRegistry,
+        cache: Optional[ResultCache],
+        options: dict[str, Any],
+    ) -> CutResult:
+        graph.require_connected()
+        spec = _resolve_spec(
+            registry, graph, solver, mode=mode, epsilon=epsilon, budget=budget
+        )
+        if solver == "auto":
+            budget = None  # consumed by selection; the pick runs at default effort
+        key = None
+        if cache is not None:
+            key = CacheKey.for_solve(
+                graph, spec.name, epsilon=epsilon, mode=mode, seed=seed,
+                budget=budget, options=options,
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return _stamp_cache(hit, cache, hit=True)
+        result = _run(
+            spec, graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget,
+            **options,
+        )
+        if cache is not None:
+            cache.put(key, result)
+            result = _stamp_cache(result, cache, hit=False)
+        return result
+
+    def _solve_all(
+        self,
+        graph: WeightedGraph,
+        *,
+        epsilon: Optional[float],
+        mode: str,
+        seed: int,
+        budget: Optional[int],
+        kinds: Optional[Sequence[str]],
+        names: Optional[Sequence[str]],
+        include_heavy: bool,
+        registry: SolverRegistry,
+        backend: Backend,
+        cache: Optional[ResultCache],
+    ) -> list[CutResult]:
+        graph.require_connected()
+        kind_filter = tuple(kinds) if kinds is not None else None
+        if names is not None:
+            requested = {name: registry.get(name) for name in names}  # validates
+            specs = [
+                spec
+                for spec in registry
+                if spec.name in requested
+                and (kind_filter is None or spec.kind in kind_filter)
+                and spec.applicable(graph, mode=mode, epsilon=epsilon)
+            ]
+        else:
+            specs = registry.applicable(
+                graph, mode=mode, epsilon=epsilon, kinds=kind_filter,
+                include_heavy=include_heavy,
+            )
+        tasks = [
+            SolveTask(
+                graph=graph,
+                solver=spec.name,
+                epsilon=epsilon,
+                mode=mode,
+                seed=seed,
+                budget=budget,
+                label=f"solver {spec.name!r}",
+            )
+            for spec in specs
+        ]
+        return self.solve_tasks(
+            tasks, registry=registry, backend=backend, cache=cache
+        )
+
+
+def _resolve_spec(
+    registry: SolverRegistry,
+    graph: WeightedGraph,
+    solver: str,
+    *,
+    mode: str,
+    epsilon: Optional[float],
+    budget: Optional[float] = None,
+) -> SolverSpec:
+    """Resolve ``solver`` (a name or ``"auto"``) to an applicable spec.
+
+    ``budget`` only steers the auto policy (expected-cost ceiling); a
+    named solver receives it as its effort cap instead.
+    """
+    if solver == "auto":
+        return registry.select_auto(
+            graph, mode=mode, epsilon=epsilon, budget=budget
+        )
+    spec = registry.get(solver)
+    reason = spec.inapplicable_reason(graph, mode=mode, epsilon=epsilon)
+    if reason is not None:
+        raise AlgorithmError(reason)
+    return spec
+
+
+def _stamp_cache(
+    result: CutResult, cache: ResultCache, *, hit: bool
+) -> CutResult:
+    """Surface the cache outcome and running counters in ``extras``."""
+    extras = dict(result.extras)
+    extras["cache"] = {"hit": hit, "hits": cache.hits, "misses": cache.misses}
+    return replace(result, extras=extras)
+
+
+def _run(
+    spec: SolverSpec,
+    graph: WeightedGraph,
+    *,
+    epsilon: Optional[float],
+    mode: str,
+    seed: int,
+    budget: Optional[int],
+    **options: Any,
+) -> CutResult:
+    started = time.perf_counter()
+    raw = spec.run(
+        graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget, **options
+    )
+    elapsed = time.perf_counter() - started
+    return CutResult(
+        value=raw.value,
+        side=frozenset(raw.side),
+        solver=spec.name,
+        guarantee=spec.guarantee,
+        seed=seed,
+        metrics=raw.metrics,
+        wall_time=elapsed,
+        extras=dict(raw.extras),
+    )
+
+
+#: The process-wide engine behind the module-level façade functions.
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The process-wide default :class:`Engine` (built lazily, once).
+
+    This is the engine the module-level ``solve``/``solve_all``/
+    ``solve_batch`` delegate to: default registry, no cache, backend
+    from ``$REPRO_BACKEND``.  It never emits the raw-kwarg deprecation
+    warnings — the historic per-call surface *is* its job.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        engine = Engine()
+        engine._warn_raw_kwargs = False
+        _DEFAULT_ENGINE = engine
+    return _DEFAULT_ENGINE
+
+
+__all__ = ["Engine", "default_engine"]

@@ -13,40 +13,39 @@ Every call returns a canonical :class:`~repro.api.result.CutResult`
 stamped with the solver name, guarantee class, seed and wall time, so
 downstream consumers (CLI, comparison tables, benchmarks, the
 :mod:`repro.service` HTTP layer) never touch per-algorithm result
-types.  The service layer is a thin shell over exactly these three
-entry points: a ``POST /solve`` body is one :func:`solve` call, a
-``POST /solve_batch`` body one :func:`solve_batch` call whose graphs
-become :class:`~repro.exec.task.SolveTask` fan-out on the same
-backends, with the server's shared cache passed as ``cache=``.
+types.
+
+These module-level functions are **thin delegations to the default
+:class:`~repro.api.engine.Engine`** (:func:`repro.api.default_engine`):
+the engine is the session object that owns registry, backend, cache
+and budget policy, and this module keeps the historic per-call-kwarg
+surface stable on top of it.  Every knob accepted here — ``backend=``
+(``"serial"``/``"thread"``/``"process"``/``"remote"`` or an
+:class:`~repro.exec.backends.Executor`, default from
+``$REPRO_BACKEND``), ``cache=`` (a
+:class:`~repro.exec.cache.ResultCache`), ``registry=``, ``budget=`` —
+forwards verbatim, with unset values falling back to the default
+engine's configuration; long-lived callers should construct their own
+:class:`~repro.api.engine.Engine` instead of re-passing kwargs.
 
 ``solve_all`` runs every applicable solver on one graph (the compare
 workload); ``solve_batch`` maps ``solve`` over many graphs (the sweep
-workload).  Both take a ``backend=`` knob — ``"serial"`` (default),
-``"thread"`` or ``"process"``, with the ``REPRO_BACKEND`` environment
-variable supplying the default — that fans the work out through
-:mod:`repro.exec` without changing results: per-task seeds are frozen
-up front and all backends run the identical task path, so parallelism
-only changes wall time.
-
-All three entry points also take ``cache=`` — a
-:class:`repro.exec.ResultCache` keyed on the graph's canonical content
-hash plus every solver knob.  Hits skip the solver entirely and every
-cache-enabled result carries ``extras["cache"]`` with the hit flag and
-the cache's running hit/miss counters.
+workload).  Per-task seeds are frozen up front and all backends run
+the identical task path, so parallelism (including remote sharding)
+only changes wall time, never results.  Cache-enabled results carry
+``extras["cache"]`` with the hit flag and the cache's running hit/miss
+counters.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
-from ..errors import AlgorithmError, ReproError
-from ..exec.backends import Executor, resolve_backend
-from ..exec.cache import CacheKey, ResultCache
-from ..exec.task import SolveTask
+from ..exec.backends import Executor
+from ..exec.cache import ResultCache
 from ..graphs.graph import WeightedGraph
-from .registry import SolverRegistry, SolverSpec, default_registry
+from .engine import _UNSET, default_engine
+from .registry import SolverRegistry
 from .result import CutResult
 
 Backend = Union[str, Executor, None]
@@ -104,30 +103,17 @@ def solve(
         Extra keyword arguments forwarded verbatim to the solver adapter
         (e.g. ``tree_count=...`` for the packing solvers).
     """
-    registry = registry if registry is not None else default_registry()
-    graph.require_connected()
-    spec = _resolve_spec(
-        registry, graph, solver, mode=mode, epsilon=epsilon, budget=budget
-    )
-    if solver == "auto":
-        budget = None  # consumed by selection; the pick runs at default effort
-    key = None
-    if cache is not None:
-        key = CacheKey.for_solve(
-            graph, spec.name, epsilon=epsilon, mode=mode, seed=seed,
-            budget=budget, options=options,
-        )
-        hit = cache.get(key)
-        if hit is not None:
-            return _stamp_cache(hit, cache, hit=True)
-    result = _run(
-        spec, graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget,
+    return default_engine().solve(
+        graph,
+        solver,
+        epsilon=epsilon,
+        mode=mode,
+        seed=seed,
+        budget=budget,
+        registry=registry,
+        cache=cache if cache is not None else _UNSET,
         **options,
     )
-    if cache is not None:
-        cache.put(key, result)
-        result = _stamp_cache(result, cache, hit=False)
-    return result
 
 
 def solve_all(
@@ -158,40 +144,24 @@ def solve_all(
     what was skipped as inapplicable.
 
     ``backend`` fans the per-solver runs out through
-    :mod:`repro.exec` (``"serial"``/``"thread"``/``"process"``, default
-    from ``$REPRO_BACKEND``); ``cache`` short-circuits solvers whose
-    result for this exact instance and knob set is already known.
+    :mod:`repro.exec` (``"serial"``/``"thread"``/``"process"``/
+    ``"remote"``, default from ``$REPRO_BACKEND``); ``cache``
+    short-circuits solvers whose result for this exact instance and
+    knob set is already known.
     """
-    registry = registry if registry is not None else default_registry()
-    graph.require_connected()
-    kind_filter = tuple(kinds) if kinds is not None else None
-    if names is not None:
-        requested = {name: registry.get(name) for name in names}  # validates
-        specs = [
-            spec
-            for spec in registry
-            if spec.name in requested
-            and (kind_filter is None or spec.kind in kind_filter)
-            and spec.applicable(graph, mode=mode, epsilon=epsilon)
-        ]
-    else:
-        specs = registry.applicable(
-            graph, mode=mode, epsilon=epsilon, kinds=kind_filter,
-            include_heavy=include_heavy,
-        )
-    tasks = [
-        SolveTask(
-            graph=graph,
-            solver=spec.name,
-            epsilon=epsilon,
-            mode=mode,
-            seed=seed,
-            budget=budget,
-            label=f"solver {spec.name!r}",
-        )
-        for spec in specs
-    ]
-    return _execute(tasks, backend=backend, registry=registry, cache=cache)
+    return default_engine().solve_all(
+        graph,
+        epsilon=epsilon,
+        mode=mode,
+        seed=seed,
+        budget=budget,
+        kinds=kinds,
+        names=names,
+        include_heavy=include_heavy,
+        registry=registry,
+        backend=backend if backend is not None else _UNSET,
+        cache=cache if cache is not None else _UNSET,
+    )
 
 
 def solve_batch(
@@ -212,8 +182,8 @@ def solve_batch(
     Each graph gets seed ``seed + index`` so batch runs are deterministic
     yet not correlated across instances — and because every task's seed
     is frozen before dispatch, the ``backend`` knob (``"serial"``,
-    ``"thread"``, ``"process"``; default from ``$REPRO_BACKEND``) never
-    changes the results, only the wall time.
+    ``"thread"``, ``"process"``, ``"remote"``; default from
+    ``$REPRO_BACKEND``) never changes the results, only the wall time.
 
     With ``solver="auto"``, ``budget`` is the expected-cost ceiling the
     per-graph selection trades on (see :func:`solve`) and is not
@@ -230,147 +200,17 @@ def solve_batch(
     *within* a batch sits at a different index, gets a different seed,
     and recomputes.
     """
-    registry = registry if registry is not None else default_registry()
-    task_budget = None if solver == "auto" else budget
-    tasks = []
-    for index, graph in enumerate(graphs):
-        try:
-            graph.require_connected()
-            spec = _resolve_spec(
-                registry, graph, solver, mode=mode, epsilon=epsilon,
-                budget=budget,
-            )
-        except ReproError as exc:
-            raise AlgorithmError(f"solve_batch: graph #{index}: {exc}") from exc
-        tasks.append(
-            SolveTask(
-                graph=graph,
-                solver=spec.name,
-                epsilon=epsilon,
-                mode=mode,
-                seed=seed + index,
-                budget=task_budget,
-                options=tuple(sorted(options.items())),
-                label=f"graph #{index}",
-            )
-        )
-    return _execute(tasks, backend=backend, registry=registry, cache=cache)
-
-
-def _resolve_spec(
-    registry: SolverRegistry,
-    graph: WeightedGraph,
-    solver: str,
-    *,
-    mode: str,
-    epsilon: Optional[float],
-    budget: Optional[float] = None,
-) -> SolverSpec:
-    """Resolve ``solver`` (a name or ``"auto"``) to an applicable spec.
-
-    ``budget`` only steers the auto policy (expected-cost ceiling); a
-    named solver receives it as its effort cap instead.
-    """
-    if solver == "auto":
-        return registry.select_auto(
-            graph, mode=mode, epsilon=epsilon, budget=budget
-        )
-    spec = registry.get(solver)
-    reason = spec.inapplicable_reason(graph, mode=mode, epsilon=epsilon)
-    if reason is not None:
-        raise AlgorithmError(reason)
-    return spec
-
-
-def _execute(
-    tasks: list[SolveTask],
-    *,
-    backend: Backend,
-    registry: SolverRegistry,
-    cache: Optional[ResultCache],
-) -> list[CutResult]:
-    """Run tasks through the chosen backend, honouring the cache.
-
-    Cache lookups and stores happen in the calling process (worker
-    processes cannot share the cache object), so only misses are
-    dispatched; results come back in task order either way.  Backends
-    return failures as captured exceptions; with a cache attached every
-    completed result is cached (memory + one disk flush) before the
-    first failure — in task order — is raised, while without one the
-    serial backend stops at the failure instead of computing results
-    nobody will see.
-    """
-    executor = resolve_backend(backend)  # validate even if every task hits
-    results: list[Optional[CutResult]] = [None] * len(tasks)
-    if cache is not None:
-        pending: list[tuple[int, SolveTask]] = []
-        keys = {}
-        for position, task in enumerate(tasks):
-            key = task.cache_key()
-            keys[position] = key
-            hit = cache.get(key)
-            if hit is not None:
-                results[position] = _stamp_cache(hit, cache, hit=True)
-            else:
-                pending.append((position, task))
-    else:
-        pending = list(enumerate(tasks))
-    if pending:
-        computed = executor.run_tasks(
-            [task for _, task in pending],
-            registry=registry,
-            keep_going=cache is not None,  # completed work is only worth
-        )                                  # finishing if it can be cached
-        failure: Optional[Exception] = None
-        for (position, _task), outcome in zip(pending, computed):
-            if isinstance(outcome, Exception):
-                if failure is None:
-                    failure = outcome
-                continue
-            if cache is not None:
-                cache.put(keys[position], outcome, flush=False)
-                outcome = _stamp_cache(outcome, cache, hit=False)
-            results[position] = outcome
-        if cache is not None:
-            cache.flush()  # one disk write per batch, not per store
-        if failure is not None:
-            raise failure
-    return results  # type: ignore[return-value]  (every slot is filled)
-
-
-def _stamp_cache(
-    result: CutResult, cache: ResultCache, *, hit: bool
-) -> CutResult:
-    """Surface the cache outcome and running counters in ``extras``."""
-    extras = dict(result.extras)
-    extras["cache"] = {"hit": hit, "hits": cache.hits, "misses": cache.misses}
-    return replace(result, extras=extras)
-
-
-def _run(
-    spec: SolverSpec,
-    graph: WeightedGraph,
-    *,
-    epsilon: Optional[float],
-    mode: str,
-    seed: int,
-    budget: Optional[int],
-    **options: Any,
-) -> CutResult:
-    started = time.perf_counter()
-    raw = spec.run(
-        graph, epsilon=epsilon, mode=mode, seed=seed, budget=budget, **options
-    )
-    elapsed = time.perf_counter() - started
-    return CutResult(
-        value=raw.value,
-        side=frozenset(raw.side),
-        solver=spec.name,
-        guarantee=spec.guarantee,
+    return default_engine().solve_batch(
+        graphs,
+        solver,
+        epsilon=epsilon,
+        mode=mode,
         seed=seed,
-        metrics=raw.metrics,
-        wall_time=elapsed,
-        extras=dict(raw.extras),
+        budget=budget,
+        registry=registry,
+        backend=backend if backend is not None else _UNSET,
+        cache=cache if cache is not None else _UNSET,
+        **options,
     )
 
 

@@ -40,11 +40,15 @@ def stoer_wagner_min_cut(graph: WeightedGraph) -> MinCutResult:
         raise AlgorithmError("minimum cut requires at least two nodes")
 
     # Working adjacency over super-nodes; ``members`` maps a super-node
-    # to the original nodes merged into it.
+    # to the original nodes merged into it.  Seeded from the cached
+    # GraphIndex's per-node weight maps (copies — the phases contract
+    # them) instead of per-edge ``graph.weight`` lookups, so one shared
+    # index serves every solver in a ``compare`` fan-out.
+    index = graph.index()
     adjacency: dict[Node, dict[Node, float]] = {
-        u: {v: graph.weight(u, v) for v in graph.neighbors(u)} for u in graph.nodes
+        u: dict(weights) for u, weights in zip(index.nodes, index.weight_maps)
     }
-    members: dict[Node, set[Node]] = {u: {u} for u in graph.nodes}
+    members: dict[Node, set[Node]] = {u: {u} for u in index.nodes}
 
     best_value = float("inf")
     best_side: frozenset = frozenset()

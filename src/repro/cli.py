@@ -16,9 +16,12 @@ Commands
 ``solvers``    list the solver registry with capability metadata.
 ``bounds``     certified λ interval from edge-disjoint tree packings.
 ``serve``      run the JSON-over-HTTP service (:mod:`repro.service`)
-               sharing one result cache across connections.
+               sharing one result cache across connections (optionally
+               warm-started from merged cache files).
 ``client``     talk to a running service (health, solvers, solve,
                batch round trips) — the CI smoke job's tool.
+``cache``      result-cache tooling: ``merge`` worker cache files into
+               one warm-start file, ``stats`` a cache file's contents.
 
 All algorithm dispatch goes through :mod:`repro.api` — the commands
 iterate the solver registry instead of hard-coding algorithm lists, so
@@ -43,6 +46,10 @@ Examples
     python -m repro solvers
     python -m repro serve --port 8137 --cache-file service_cache.json
     python -m repro client solve --url http://127.0.0.1:8137 --family gnp --n 48
+    python -m repro cache merge --out warm.json w1_cache.json w2_cache.json
+    python -m repro serve --port 8137 --warm-start warm.json
+    REPRO_REMOTE_WORKERS=http://127.0.0.1:8101,http://127.0.0.1:8102 \\
+        python -m repro sweep --family gnp --n 64 --count 16 --backend remote
 """
 
 from __future__ import annotations
@@ -53,10 +60,11 @@ import sys
 from typing import Optional
 
 from .analysis import fit_power_law, format_cut_results, format_table
-from .api import CutResult, default_registry, solve, solve_all, solve_batch
+from .api import CutResult, Engine, default_registry, solve
 from .core import one_respecting_min_cut_congest
 from .errors import ReproError
-from .exec import BACKENDS, ResultCache, resolve_backend
+from .exec import BACKENDS, ResultCache, load_cache_file, resolve_backend
+from .exec.cache import CACHE_SCHEMA_VERSION
 from .graphs import (
     WeightedGraph,
     build_family,
@@ -227,16 +235,16 @@ def _cmd_rounds(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    registry = default_registry()
     cache = _build_cache(args)
-    results = solve_all(
+    # One session object owns backend + cache for the whole compare
+    # fan-out; `Engine.compare` guarantees the ground-truth row.
+    engine = Engine(backend=args.backend, cache=cache)
+    results = engine.compare(
         graph,
         epsilon=args.epsilon,
         seed=args.seed,
         names=args.solver or None,
         include_heavy=args.heavy,
-        backend=args.backend,
-        cache=cache,
     )
     if args.solver:
         skipped = sorted(set(args.solver) - {r.solver for r in results})
@@ -246,18 +254,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 f"{', '.join(skipped)}",
                 file=sys.stderr,
             )
-    truth_name = registry.ground_truth().name
-    if all(r.solver != truth_name for r in results):
-        results.insert(
-            0, solve(graph, solver=truth_name, seed=args.seed, cache=cache)
-        )
-    truth = next(r for r in results if r.solver == truth_name)
-    results.sort(key=lambda r: r.solver != truth_name)  # ground truth first
+    truth = results[0]  # compare() puts the ground-truth solver first
     print(
         format_cut_results(
             results,
             truth=truth.value,
-            registry=registry,
+            registry=engine.registry,
             title=f"n={graph.number_of_nodes}, m={graph.number_of_edges}",
         )
     )
@@ -272,16 +274,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     cache = _build_cache(args)
     backend = resolve_backend(args.backend)
+    engine = Engine(backend=backend, cache=cache)
     results: list[CutResult] = []
     for _ in range(max(1, args.repeat)):
-        results = solve_batch(
+        results = engine.solve_batch(
             graphs,
             args.solver,
             epsilon=args.epsilon,
             seed=args.seed,
             budget=args.budget,
-            backend=backend,
-            cache=cache,
         )
     rows = []
     for index, (graph, result) in enumerate(zip(graphs, results)):
@@ -364,7 +365,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         config=config,
         access_log=args.access_log,
+        warm_start=tuple(args.warm_start or ()),
     )
+    if args.warm_start:
+        print(
+            f"warm start: adopted {server.service.warm_start_adopted} "
+            f"cached result(s) from {len(args.warm_start)} file(s)",
+            flush=True,
+        )
     # The resolved URL is printed before blocking (and flushed) so
     # wrappers that pass --port 0 can scrape the picked port.
     print(f"repro service listening on {server.url}", flush=True)
@@ -448,6 +456,43 @@ def _cmd_client(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "merge":
+        out = ResultCache(path=args.out)
+        already = out.stats()["disk_entries"]
+        adopted = 0
+        for source in args.inputs:
+            count = out.merge_from(source, flush=False)
+            print(f"{source}: adopted {count} entr{_ies(count)}")
+            adopted += count
+        out.flush()
+        total = out.stats()["disk_entries"]
+        print(
+            f"wrote {args.out}: {total} entr{_ies(total)} "
+            f"(schema {CACHE_SCHEMA_VERSION}; {already} already present, "
+            f"{adopted} newly adopted)"
+        )
+        return 0
+    # args.action == "stats"
+    entries = load_cache_file(args.path)
+    by_solver: dict[str, int] = {}
+    for payload in entries.values():
+        solver = payload.get("solver")
+        name = solver if isinstance(solver, str) else "<unknown>"
+        by_solver[name] = by_solver.get(name, 0) + 1
+    print(
+        f"{args.path}: {len(entries)} entr{_ies(len(entries))} "
+        f"(schema <= {CACHE_SCHEMA_VERSION})"
+    )
+    for name in sorted(by_solver):
+        print(f"  {name:20s} {by_solver[name]}")
+    return 0
+
+
+def _ies(count: int) -> str:
+    return "y" if count == 1 else "ies"
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -575,6 +620,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", default=None, metavar="PATH",
         help="append one line per request to this file (default: stderr)",
     )
+    p_serve.add_argument(
+        "--warm-start", action="append", default=None, metavar="PATH",
+        help="merge this cache file into the shared cache before serving "
+             "(repeatable; see `repro cache merge`)",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -615,6 +665,28 @@ def build_parser() -> argparse.ArgumentParser:
                 help="server-side execution backend for the fan-out",
             )
         p_action.set_defaults(handler=_cmd_client)
+
+    p_cache = sub.add_parser(
+        "cache", help="result-cache tooling (merge, stats)"
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    p_merge = cache_sub.add_parser(
+        "merge",
+        help="merge cache files into one warm-start file (existing "
+             "entries in --out win on conflict)",
+    )
+    p_merge.add_argument(
+        "--out", required=True, metavar="PATH", help="merged cache file to write"
+    )
+    p_merge.add_argument(
+        "inputs", nargs="+", metavar="CACHE", help="cache files to merge in"
+    )
+    p_merge.set_defaults(handler=_cmd_cache)
+    p_stats = cache_sub.add_parser(
+        "stats", help="entry count and per-solver breakdown of a cache file"
+    )
+    p_stats.add_argument("path", metavar="CACHE", help="cache file to inspect")
+    p_stats.set_defaults(handler=_cmd_cache)
 
     p_bounds = sub.add_parser("bounds", help="certified minimum-cut interval")
     _add_instance_arguments(p_bounds)

@@ -6,14 +6,21 @@ every sweep workload; this package is the layer that scales it:
 * :mod:`~repro.exec.task` — :class:`SolveTask`, a picklable frozen
   façade call, and :func:`run_task`, the module-level runner every
   backend shares (the determinism contract).
-* :mod:`~repro.exec.backends` — :class:`Executor` and the ``serial`` /
-  ``thread`` / ``process`` implementations, selected by the
-  ``backend=`` knob on ``solve_batch``/``solve_all`` or the
-  ``REPRO_BACKEND`` environment variable.
+* :mod:`~repro.exec.backends` — :class:`Executor`, the
+  :func:`register_backend` registry, and the ``serial`` / ``thread`` /
+  ``process`` implementations, selected by the ``backend=`` knob on
+  ``solve_batch``/``solve_all`` or the ``REPRO_BACKEND`` environment
+  variable.
+* :mod:`~repro.exec.remote` — :class:`RemoteExecutor`
+  (``backend="remote"``), the sharded fan-out over a pool of
+  ``repro serve`` workers (registered lazily; worker URLs via the
+  constructor or ``$REPRO_REMOTE_WORKERS``).
 * :mod:`~repro.exec.cache` — :class:`CacheKey` (graph content hash +
-  solver knobs) and :class:`ResultCache`, an LRU with an optional JSON
-  persistence tier, consulted by ``solve``/``solve_all``/``solve_batch``
-  via their ``cache=`` parameter.
+  solver knobs) and :class:`ResultCache`, an LRU with an optional
+  versioned JSON persistence tier (mergeable via
+  :meth:`ResultCache.merge_from` / ``python -m repro cache merge``),
+  consulted by ``solve``/``solve_all``/``solve_batch`` via their
+  ``cache=`` parameter.
 
 Usage::
 
@@ -32,13 +39,15 @@ from .backends import (
     REPRO_BACKEND_ENV,
     SerialExecutor,
     ThreadExecutor,
+    register_backend,
     resolve_backend,
 )
-from .cache import CacheKey, ResultCache
+from .cache import CACHE_SCHEMA_VERSION, CacheKey, ResultCache, load_cache_file
 from .task import SolveTask, run_task, run_task_captured
 
 __all__ = [
     "BACKENDS",
+    "CACHE_SCHEMA_VERSION",
     "CacheKey",
     "Executor",
     "ProcessExecutor",
@@ -47,6 +56,8 @@ __all__ = [
     "SerialExecutor",
     "SolveTask",
     "ThreadExecutor",
+    "load_cache_file",
+    "register_backend",
     "resolve_backend",
     "run_task",
     "run_task_captured",

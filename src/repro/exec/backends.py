@@ -1,4 +1,4 @@
-"""Execution backends: serial, thread pool and process pool.
+"""Execution backends: a small open registry of :class:`Executor`\\ s.
 
 Every backend implements the same tiny :class:`Executor` interface —
 ``run_tasks(tasks, registry=None)`` returning outcomes **in task
@@ -8,6 +8,22 @@ failed task, the :class:`AlgorithmError` it raised — so the façade's
 selects one without touching any solver code, and (with a cache
 attached) one failing task never discards the rest of the batch's
 completed work; without a cache the serial backend fails fast instead.
+
+Backends are *registered*, not hard-coded: :func:`register_backend`
+maps a name onto an executor factory in :data:`BACKENDS`, which is
+everything :func:`resolve_backend` consults.  The built-ins are
+``serial`` / ``thread`` / ``process`` (this module) plus ``remote``
+(:mod:`repro.exec.remote` — a sharded fan-out over a pool of
+``repro serve`` workers, registered lazily so the core engine never
+imports the service client unless asked to).  Third-party executors
+join the same way::
+
+    from repro.exec import Executor, register_backend
+
+    @register_backend("mine")
+    class MyExecutor(Executor):
+        name = "mine"
+        def run_tasks(self, tasks, registry=None, keep_going=False): ...
 
 Determinism contract: a task's seed is frozen when the task is built
 (``seed + index`` for batches), every solver draws randomness from a
@@ -27,13 +43,43 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from ..errors import AlgorithmError
 from .task import SolveTask, run_task_captured
 
 #: Environment variable supplying the default backend name.
 REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+#: Name → zero-argument executor factory; the valid values of
+#: ``backend=`` / ``$REPRO_BACKEND``.  Populated via
+#: :func:`register_backend`; consult :func:`resolve_backend` rather
+#: than calling the factories directly.
+BACKENDS: dict[str, Callable[[], "Executor"]] = {}
+
+
+def register_backend(name: str, factory: Optional[Callable[[], "Executor"]] = None):
+    """Register an executor factory under ``name`` (usable as decorator).
+
+    ``factory`` is anything callable with no arguments that returns an
+    :class:`Executor` — typically the executor class itself, but a
+    plain function works too (the lazily imported ``remote`` backend
+    uses one so that registering it costs nothing until it is picked).
+    Re-registering a taken name raises :class:`AlgorithmError`: backend
+    names are part of the public knob surface, silently shadowing one
+    would change behaviour at a distance.
+    """
+
+    def _register(factory: Callable[[], "Executor"]):
+        key = str(name).lower()
+        if key in BACKENDS:
+            raise AlgorithmError(f"execution backend {key!r} is already registered")
+        BACKENDS[key] = factory
+        return factory
+
+    if factory is not None:
+        return _register(factory)
+    return _register
 
 
 def _default_workers() -> int:
@@ -69,6 +115,7 @@ class Executor:
         return f"{type(self).__name__}()"
 
 
+@register_backend("serial")
 class SerialExecutor(Executor):
     """Run tasks one after another in the calling thread (the default)."""
 
@@ -89,6 +136,7 @@ class SerialExecutor(Executor):
         return outcomes
 
 
+@register_backend("thread")
 class ThreadExecutor(Executor):
     """Thread-pool backend.
 
@@ -120,6 +168,7 @@ class ThreadExecutor(Executor):
             )
 
 
+@register_backend("process")
 class ProcessExecutor(Executor):
     """Process-pool backend — real parallelism for sweep workloads.
 
@@ -154,12 +203,17 @@ class ProcessExecutor(Executor):
             return list(pool.map(run_task_captured, tasks, chunksize=chunksize))
 
 
-#: Name → executor class; the valid values of ``backend=`` / REPRO_BACKEND.
-BACKENDS = {
-    "serial": SerialExecutor,
-    "thread": ThreadExecutor,
-    "process": ProcessExecutor,
-}
+@register_backend("remote")
+def _remote_backend() -> Executor:
+    """Sharded fan-out over ``repro serve`` workers (lazy import).
+
+    The import cost (and the service-client machinery) is only paid
+    when ``backend="remote"`` is actually resolved; worker URLs come
+    from the executor's constructor or ``$REPRO_REMOTE_WORKERS``.
+    """
+    from .remote import RemoteExecutor
+
+    return RemoteExecutor()
 
 
 def resolve_backend(backend: Union[str, Executor, None] = None) -> Executor:
@@ -175,13 +229,13 @@ def resolve_backend(backend: Union[str, Executor, None] = None) -> Executor:
     if name is None:
         name = os.environ.get(REPRO_BACKEND_ENV, "").strip() or "serial"
     try:
-        cls = BACKENDS[str(name).lower()]
+        factory = BACKENDS[str(name).lower()]
     except KeyError:
         raise AlgorithmError(
             f"unknown execution backend {name!r}; choose one of "
             f"{', '.join(sorted(BACKENDS))} (or set ${REPRO_BACKEND_ENV})"
         ) from None
-    return cls()
+    return factory()
 
 
 __all__ = [
@@ -191,5 +245,6 @@ __all__ = [
     "REPRO_BACKEND_ENV",
     "SerialExecutor",
     "ThreadExecutor",
+    "register_backend",
     "resolve_backend",
 ]

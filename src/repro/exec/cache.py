@@ -18,6 +18,20 @@ still do not round-trip JSON faithfully (CONGEST metrics attached,
 non-scalar nodes, non-string dict keys) stay memory-only — the cache
 never persists an entry it could not reproduce exactly.
 
+The on-disk file is **versioned**: schema
+:data:`CACHE_SCHEMA_VERSION` wraps the entry dict in
+``{"schema": N, "entries": {digest: payload}}`` so caches can be
+shared, shipped and merged across deployments without guessing at
+their shape.  Unversioned files from earlier releases (a bare digest →
+payload dict) are still read; files claiming a *newer* schema are left
+untouched and the cache starts cold rather than misreading them.
+:meth:`ResultCache.merge_from` adopts another cache's persisted
+entries (existing entries win), which is the warm-start workflow:
+merge the worker caches from a sharded sweep — ``python -m repro cache
+merge`` is the CLI face — and hand the merged file to
+``Engine(cache=...)`` or ``repro serve --warm-start`` so cold-start
+sweeps begin warm.
+
 ``CutResult.verify(graph)`` makes every hit auditable: the cached
 witness side can be re-checked against the graph without trusting the
 cache (the façade surfaces hit/miss counters in
@@ -43,6 +57,35 @@ except ImportError:  # non-POSIX: merge-on-flush stays best-effort
 from ..api.result import CutResult
 from ..errors import AlgorithmError
 from ..graphs.graph import WeightedGraph
+
+#: Version of the on-disk cache file format.  Bumped whenever the JSON
+#: shape changes incompatibly; the loader still accepts the unversioned
+#: (pre-versioning) bare-dict form but never a *newer* schema.
+CACHE_SCHEMA_VERSION = 2
+
+
+def _entries_of(payload) -> Optional[dict]:
+    """The digest → entry dict inside one decoded cache file, or ``None``.
+
+    Accepts the current versioned envelope and the legacy bare dict
+    (every value a dict keeps foreign JSON from masquerading as a
+    cache).  Files with a newer ``schema`` return ``None`` — refusing
+    to half-read a format this code does not know.
+    """
+    if not isinstance(payload, dict):
+        return None
+    if "schema" in payload:
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        entries = payload.get("entries")
+        if not isinstance(entries, dict) or not all(
+            isinstance(value, dict) for value in entries.values()
+        ):
+            return None
+        return entries
+    if all(isinstance(value, dict) for value in payload.values()):
+        return payload  # legacy unversioned tier
+    return None
 
 
 @dataclass(frozen=True)
@@ -133,10 +176,11 @@ class ResultCache:
         if self.path is not None and self.path.exists():
             try:
                 loaded = json.loads(self.path.read_text(encoding="utf-8"))
-                if isinstance(loaded, dict):
-                    self._disk = loaded
             except (OSError, ValueError):
-                self._disk = {}
+                loaded = None
+            entries = _entries_of(loaded)
+            if entries is not None:
+                self._disk = entries
 
     # -- lookup / store ------------------------------------------------
 
@@ -203,8 +247,9 @@ class ResultCache:
                     on_disk = json.loads(self.path.read_text(encoding="utf-8"))
                 except (OSError, ValueError):
                     on_disk = None  # corrupt/foreign file: overwrite (heal)
-                if isinstance(on_disk, dict):
-                    for digest, payload in on_disk.items():
+                entries = _entries_of(on_disk)
+                if entries is not None:
+                    for digest, payload in entries.items():
                         self._disk.setdefault(digest, payload)
             self._write()
 
@@ -233,7 +278,11 @@ class ResultCache:
         """Atomically replace the file with this cache's disk tier."""
         tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
         tmp.write_text(
-            json.dumps(self._disk, sort_keys=True), encoding="utf-8"
+            json.dumps(
+                {"schema": CACHE_SCHEMA_VERSION, "entries": self._disk},
+                sort_keys=True,
+            ),
+            encoding="utf-8",
         )
         os.replace(tmp, self.path)
 
@@ -252,6 +301,42 @@ class ResultCache:
             with self._file_lock():
                 self._write()
 
+    def merge_from(
+        self, source: Union["ResultCache", str, Path], *, flush: bool = True
+    ) -> int:
+        """Adopt another cache's persistable entries (ours win on conflict).
+
+        ``source`` is a cache file path or a live :class:`ResultCache`.
+        From a file, the digest → payload entries are read directly
+        (versioned envelope or the legacy bare dict); a missing,
+        unreadable, corrupt or newer-schema file raises
+        :class:`AlgorithmError` — a merge *tool* must not silently
+        treat a bad input as empty.  From a live cache, both its disk
+        tier and the persistable part of its memory tier contribute, so
+        memory-only caches merge too.  Returns the number of entries
+        actually adopted (conflicts and duplicates don't count); with
+        ``flush`` (default) the merged tier is written out when this
+        cache has a ``path``.
+        """
+        if isinstance(source, ResultCache):
+            entries = dict(source._disk)
+            for key, result in source._memory.items():
+                digest = key.digest()
+                if digest not in entries:
+                    payload = _result_to_payload(result)
+                    if payload is not None:
+                        entries[digest] = payload
+        else:
+            entries = load_cache_file(source)
+        adopted = 0
+        for digest, payload in entries.items():
+            if isinstance(payload, dict) and digest not in self._disk:
+                self._disk[digest] = payload
+                adopted += 1
+        if adopted and flush and self.path is not None:
+            self.flush()
+        return adopted
+
     def stats(self) -> dict[str, int]:
         """Counters snapshot: hits, misses, entries per tier."""
         return {
@@ -266,6 +351,38 @@ class ResultCache:
 
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._memory or key.digest() in self._disk
+
+
+def load_cache_file(path: Union[str, Path]) -> dict[str, dict]:
+    """Read a cache file's digest → payload entries, strictly.
+
+    Unlike the cache constructor (which tolerates a missing or corrupt
+    file and just starts cold), this loader is for *tooling* —
+    ``merge_from``, ``python -m repro cache merge|stats`` — where
+    silently treating a bad input as empty would corrupt the workflow:
+    it raises :class:`AlgorithmError` for unreadable files, invalid
+    JSON, unrecognised shapes and newer schemas.
+    """
+    path = Path(path)
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AlgorithmError(f"cannot read cache file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise AlgorithmError(f"cache file {path} is not valid JSON: {exc}") from exc
+    entries = _entries_of(loaded)
+    if entries is None:
+        schema = loaded.get("schema") if isinstance(loaded, dict) else None
+        raise AlgorithmError(
+            f"cache file {path} is not a result cache"
+            + (
+                f" this version can read (schema {schema!r}, "
+                f"supported: <= {CACHE_SCHEMA_VERSION})"
+                if schema is not None
+                else " (unrecognised shape)"
+            )
+        )
+    return entries
 
 
 #: Marker key for the tagged tuple encoding in persisted extras.
@@ -346,4 +463,11 @@ def _result_from_payload(payload: dict) -> Optional[CutResult]:
         return None  # foreign/corrupt entry: treat as a miss
 
 
-__all__ = ["CacheKey", "ResultCache", "decode_extras", "encode_extras"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheKey",
+    "ResultCache",
+    "decode_extras",
+    "encode_extras",
+    "load_cache_file",
+]

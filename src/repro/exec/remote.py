@@ -1,0 +1,282 @@
+"""The ``remote`` backend: sharded fan-out over ``repro serve`` workers.
+
+This is the ROADMAP's "sharded/distributed execution" item made
+concrete: a fourth :class:`~repro.exec.backends.Executor` that ships
+:class:`~repro.exec.task.SolveTask` batches to a pool of service
+workers (:mod:`repro.service`) instead of local threads or processes.
+The shape is exactly the seam PR 4 recorded — "a shard router is a
+``ServiceClient`` pool behind the same dispatch contract":
+
+* **Sharding** — tasks are split round-robin by task index across the
+  worker pool (task ``i`` homes on worker ``i % W``), and the shards
+  are posted concurrently, one HTTP ``/solve_batch`` request per shard
+  carrying the tasks' frozen per-task seeds and resolved solver names
+  (:meth:`repro.service.client.ServiceClient.solve_tasks`).
+* **Determinism** — because every task's seed and solver were frozen
+  before dispatch, the workers run the identical
+  :func:`repro.exec.task.run_task` path the serial backend runs, and
+  results are re-assembled in input order — so ``backend="remote"`` is
+  bit-identical (solver, value, partition, seed) to ``"serial"`` on
+  the same inputs, regardless of pool size or which worker served
+  which shard.
+* **Failover** — a worker that refuses connections or dies mid-batch
+  is marked dead and its shard is retried on the surviving workers
+  (each shard visits a worker at most once, so retries are bounded by
+  the pool size); a shard that exhausts every worker records a
+  captured failure per task — the executor contract — so sibling
+  shards' completed results survive (and get cached) before the
+  caller raises.  Deterministic tasks make retries safe: re-running a
+  shard elsewhere cannot change its results.
+* **Per-task fallback** — a shard rejected wholesale with a 4xx (over
+  the worker's ``--max-batch`` limit, or a task that fails inside a
+  solver, which the batch endpoint reports as one structured error)
+  is retried task by task over ``POST /solve``, so one poisoned task
+  degrades that task — not its shard — and over-limit shards still
+  complete.  Per-task solver failures come back as captured
+  :class:`~repro.errors.AlgorithmError` outcomes, matching the
+  executor contract.
+
+Workers are plain ``python -m repro serve`` processes; point the
+executor at them explicitly or via the ``REPRO_REMOTE_WORKERS``
+environment variable (comma-separated base URLs)::
+
+    from repro.api import solve_batch
+    from repro.exec.remote import RemoteExecutor
+
+    pool = RemoteExecutor(["http://127.0.0.1:8101", "http://127.0.0.1:8102"])
+    results = solve_batch(graphs, backend=pool)
+
+    # or: export REPRO_REMOTE_WORKERS=http://127.0.0.1:8101,http://127.0.0.1:8102
+    results = solve_batch(graphs, backend="remote")
+
+Custom registries cannot cross the wire (same restriction as the
+process backend): workers resolve solver names through their own
+default registry.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from ..errors import AlgorithmError, ServiceError
+from .backends import Executor
+from .task import SolveTask
+
+#: Environment variable listing default worker base URLs (comma-separated).
+REPRO_REMOTE_WORKERS_ENV = "REPRO_REMOTE_WORKERS"
+
+
+def _env_workers() -> list[str]:
+    raw = os.environ.get(REPRO_REMOTE_WORKERS_ENV, "")
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+class RemoteExecutor(Executor):
+    """Fan ``SolveTask`` batches out across a pool of service workers.
+
+    Parameters
+    ----------
+    workers:
+        Base URLs of running ``repro serve`` processes.  ``None`` defers
+        to ``$REPRO_REMOTE_WORKERS`` at :meth:`run_tasks` time (so
+        ``resolve_backend("remote")`` can construct the executor before
+        the pool is known).
+    timeout:
+        Per-request timeout in seconds, forwarded to every
+        :class:`~repro.service.client.ServiceClient`.
+    max_shard:
+        Optional ceiling on tasks per HTTP request.  A worker's shard is
+        sub-chunked to this size, keeping requests under the workers'
+        ``--max-batch`` limit up front (over-limit requests still
+        recover via the per-task fallback, just more slowly).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Optional[Sequence[str]] = None,
+        *,
+        timeout: float = 300.0,
+        max_shard: Optional[int] = None,
+    ) -> None:
+        if max_shard is not None and max_shard < 1:
+            raise AlgorithmError(f"max_shard must be >= 1, got {max_shard}")
+        self.workers = [str(url).rstrip("/") for url in workers] if workers else None
+        self.timeout = float(timeout)
+        self.max_shard = max_shard
+
+    # -- pool plumbing ---------------------------------------------------
+
+    def _clients(self) -> list:
+        from ..service.client import ServiceClient
+
+        urls = self.workers if self.workers else _env_workers()
+        if not urls:
+            raise AlgorithmError(
+                "the remote backend needs worker URLs: pass "
+                "RemoteExecutor([...]) or set $"
+                f"{REPRO_REMOTE_WORKERS_ENV} to comma-separated "
+                "`repro serve` base URLs"
+            )
+        return [ServiceClient(url, timeout=self.timeout) for url in urls]
+
+    # -- the Executor contract -------------------------------------------
+
+    def run_tasks(
+        self,
+        tasks: Sequence[SolveTask],
+        registry=None,
+        keep_going: bool = False,
+    ) -> list:
+        from ..api.registry import DEFAULT_REGISTRY
+
+        if registry is not None and registry is not DEFAULT_REGISTRY:
+            raise AlgorithmError(
+                "the remote backend cannot ship a custom registry to service "
+                "workers; use backend='serial' or 'thread' instead"
+            )
+        if not tasks:
+            return []
+        clients = self._clients()
+
+        # Round-robin sharding by task index, then optional sub-chunking
+        # so one request never exceeds ``max_shard`` tasks.  Each shard
+        # keeps its *home* worker through the sub-chunking (chunks of
+        # worker w's stripe still home on w), preserving the "task i
+        # homes on worker i % W" contract — and with it the locality of
+        # each worker's ``--cache-file`` across warm re-runs.
+        shards: list[tuple[int, list[tuple[int, SolveTask]]]] = []
+        for home in range(min(len(clients), len(tasks))):
+            stripe = [
+                (i, task)
+                for i, task in enumerate(tasks)
+                if i % len(clients) == home
+            ]
+            if self.max_shard is None:
+                shards.append((home, stripe))
+            else:
+                shards.extend(
+                    (home, stripe[lo: lo + self.max_shard])
+                    for lo in range(0, len(stripe), self.max_shard)
+                )
+
+        dead: set[int] = set()
+        dead_lock = threading.Lock()
+        outcomes: list = [None] * len(tasks)
+
+        def _mark_dead(worker: int) -> None:
+            with dead_lock:
+                dead.add(worker)
+
+        def _alive_order(home: int) -> list[int]:
+            """Workers to try for a shard: its home first, then the rest."""
+            with dead_lock:
+                return [
+                    w
+                    for offset in range(len(clients))
+                    if (w := (home + offset) % len(clients)) not in dead
+                ]
+
+        def _run_shard(home: int, shard: list[tuple[int, SolveTask]]) -> None:
+            failures: list[str] = []
+            for worker in _alive_order(home):
+                try:
+                    self._shard_on_worker(clients[worker], shard, outcomes)
+                    return
+                except ServiceError as exc:
+                    # Connectivity-class failure: the worker is gone (or
+                    # answering 5xx); fail over to a survivor.  4xx-class
+                    # problems were already retried per task inside
+                    # ``_shard_on_worker`` and never reach this handler.
+                    failures.append(f"{clients[worker].base_url}: {exc}")
+                    _mark_dead(worker)
+            # Every worker failed for this shard.  Per the executor
+            # contract the failure is *captured* per task rather than
+            # raised, so sibling shards that did complete keep their
+            # outcomes (and, with a cache attached, get cached before
+            # the caller re-raises the first failure in task order).
+            error = AlgorithmError(
+                f"remote backend: every worker failed for a shard of "
+                f"{len(shard)} task(s); " + "; ".join(failures)
+            )
+            for position, _task in shard:
+                outcomes[position] = error
+
+        if len(shards) == 1:
+            _run_shard(*shards[0])
+        else:
+            # Cap the posting threads: shards beyond the cap just queue
+            # (the workers serialise solver work anyway), and a tiny
+            # ``max_shard`` on a big sweep must not spawn one OS thread
+            # per chunk.
+            posting_threads = min(len(shards), max(4 * len(clients), 8), 32)
+            with ThreadPoolExecutor(max_workers=posting_threads) as pool:
+                futures = [
+                    pool.submit(_run_shard, home, shard)
+                    for home, shard in shards
+                ]
+                errors = [f.exception() for f in futures]
+            for error in errors:
+                if error is not None:
+                    raise error
+        return outcomes
+
+    def _shard_on_worker(self, client, shard, outcomes) -> None:
+        """One shard on one worker: batch fast path, per-task fallback.
+
+        Raises :class:`ServiceError` only for connectivity-class
+        failures (unreachable, 5xx) — the caller's cue to fail over.
+        A 4xx answer means the worker is alive but rejected the request
+        (over ``--max-batch``, or one task failed inside a solver and
+        poisoned the batch response), so the shard is retried task by
+        task on the same worker and solver failures become captured
+        ``AlgorithmError`` outcomes per the executor contract.
+        """
+        tasks = [task for _, task in shard]
+        try:
+            results = client.solve_tasks(tasks)
+        except ServiceError as exc:
+            if not _worker_rejected(exc):
+                raise
+            results = None
+        if results is not None:
+            for (position, _task), result in zip(shard, results):
+                outcomes[position] = result
+            return
+        for position, task in shard:
+            try:
+                outcomes[position] = client.solve_task(task)
+            except ServiceError as exc:
+                if not _worker_rejected(exc):
+                    raise
+                label = task.label or f"task (solver {task.solver!r})"
+                outcomes[position] = AlgorithmError(
+                    f"{label} failed in solver {task.solver!r}: "
+                    f"{_error_message(exc)}"
+                )
+
+
+def _worker_rejected(exc: ServiceError) -> bool:
+    """True when the worker is alive but rejected the request (4xx).
+
+    Everything else — unreachable (status 0), 5xx, or a 2xx whose body
+    was not valid JSON (a dying or non-repro server) — is a worker
+    failure, and the caller should fail the shard over to a survivor.
+    """
+    return 400 <= exc.status < 500
+
+
+def _error_message(exc: ServiceError) -> str:
+    """The server-side message from a structured error body, if any."""
+    if isinstance(exc.payload, dict):
+        error = exc.payload.get("error")
+        if isinstance(error, dict) and error.get("message"):
+            return str(error["message"])
+    return str(exc)
+
+
+__all__ = ["REPRO_REMOTE_WORKERS_ENV", "RemoteExecutor"]

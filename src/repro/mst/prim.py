@@ -17,29 +17,51 @@ from .kruskal import edge_total_order
 def minimum_spanning_tree_prim(
     graph: WeightedGraph, root: Optional[Node] = None
 ) -> RootedTree:
-    """Prim's algorithm with a binary heap, rooted at ``root``."""
+    """Prim's algorithm with a binary heap, rooted at ``root``.
+
+    Runs on the cached :class:`~repro.graphs.index.GraphIndex` CSR
+    arrays — neighbour ids and edge weights come from flat slices
+    instead of per-call ``neighbors()``/``weight()`` dict walks — while
+    keeping the heap keyed on :func:`edge_total_order` over the
+    original node labels, so the edge selection order (and therefore
+    the tree, on distinct-weight graphs) is unchanged.
+    """
     graph.require_connected()
-    start = root if root is not None else graph.nodes[0]
-    if start not in graph:
+    index = graph.index()
+    nodes = index.nodes
+    start = root if root is not None else nodes[0]
+    if start not in index.node_id:
         raise AlgorithmError(f"root {start!r} is not a graph node")
+    adj_start, adj_target, adj_weight = (
+        index.adj_start, index.adj_target, index.adj_weight,
+    )
+    n = len(nodes)
+    in_tree = bytearray(n)
+    start_id = index.node_id[start]
+    in_tree[start_id] = 1
+    in_tree_count = 1
     parent: dict[Node, Node] = {}
-    in_tree = {start}
     heap = [
-        (edge_total_order(start, v, graph.weight(start, v)), start, v)
-        for v in graph.neighbors(start)
+        (edge_total_order(start, nodes[adj_target[e]], adj_weight[e]),
+         start, adj_target[e])
+        for e in range(adj_start[start_id], adj_start[start_id + 1])
     ]
     heapq.heapify(heap)
-    while heap and len(in_tree) < graph.number_of_nodes:
-        _rank, u, v = heapq.heappop(heap)
-        if v in in_tree:
+    while heap and in_tree_count < n:
+        _rank, u, v_id = heapq.heappop(heap)
+        if in_tree[v_id]:
             continue
-        in_tree.add(v)
+        in_tree[v_id] = 1
+        in_tree_count += 1
+        v = nodes[v_id]
         parent[v] = u
-        for w in graph.neighbors(v):
-            if w not in in_tree:
+        for e in range(adj_start[v_id], adj_start[v_id + 1]):
+            w_id = adj_target[e]
+            if not in_tree[w_id]:
                 heapq.heappush(
-                    heap, (edge_total_order(v, w, graph.weight(v, w)), v, w)
+                    heap,
+                    (edge_total_order(v, nodes[w_id], adj_weight[e]), v, w_id),
                 )
-    if len(in_tree) != graph.number_of_nodes:
+    if in_tree_count != n:
         raise AlgorithmError("graph is not connected; MST does not exist")
     return RootedTree(start, parent)

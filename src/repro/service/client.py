@@ -20,14 +20,16 @@ an unreachable service raises it with ``status=0``.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from ..api.result import CutResult
-from ..errors import ServiceError
+from ..errors import AlgorithmError, ServiceError
+from ..exec.task import SolveTask
 from ..graphs.graph import WeightedGraph
 from ..graphs.io import graph_to_json
 from .protocol import cut_result_from_json
@@ -63,7 +65,20 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                body = response.read()
+                try:
+                    return json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    # A 2xx with a non-JSON body is a broken (or dying,
+                    # or non-repro) server, not a client bug: surface it
+                    # as the typed error with a body snippet, so callers
+                    # handling ServiceError cover this path too.
+                    snippet = body[:120].decode("utf-8", "replace")
+                    raise ServiceError(
+                        f"{method} {path} -> {response.status}: response is "
+                        f"not valid JSON: {snippet!r}",
+                        status=response.status,
+                    ) from None
         except urllib.error.HTTPError as exc:
             body = exc.read()
             try:
@@ -87,6 +102,16 @@ class ServiceClient:
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"service at {self.base_url} unreachable: {exc.reason}", status=0
+            ) from None
+        except (http.client.HTTPException, ConnectionError, TimeoutError) as exc:
+            # urllib only wraps OSErrors raised while *connecting*; a
+            # server dying mid-exchange surfaces as RemoteDisconnected /
+            # BadStatusLine (HTTPException) or a reset on the socket.
+            # Same meaning for callers: the worker is gone.
+            raise ServiceError(
+                f"service at {self.base_url} dropped the connection: "
+                f"{type(exc).__name__}: {exc}",
+                status=0,
             ) from None
 
     # -- endpoints -----------------------------------------------------
@@ -155,6 +180,62 @@ class ServiceClient:
             "budget": budget,
             "backend": backend,
             "options": options,
+        }
+        response = self._request("POST", "/solve_batch", payload)
+        return [cut_result_from_json(result) for result in response["results"]]
+
+    # -- batch-slice helpers (the remote backend's wire form) ----------
+
+    def solve_task(self, task: SolveTask) -> CutResult:
+        """``POST /solve`` one frozen :class:`SolveTask` verbatim.
+
+        The task's seed, resolved solver name and options cross the
+        wire untouched, so the worker runs the identical
+        :func:`repro.exec.task.run_task` path a local backend would —
+        the per-task fallback the ``remote`` backend uses when a shard
+        cannot be posted wholesale.
+        """
+        return self.solve(
+            task.graph,
+            task.solver,
+            epsilon=task.epsilon,
+            mode=task.mode,
+            seed=task.seed,
+            budget=task.budget,
+            **dict(task.options),
+        )
+
+    def solve_tasks(self, tasks: Sequence[SolveTask]) -> list[CutResult]:
+        """``POST /solve_batch`` a slice of frozen tasks in one request.
+
+        The tasks' per-task seeds and solver names travel as the
+        protocol's ``seeds`` / ``solvers`` lists, so the worker
+        reproduces each task exactly instead of re-deriving seeds as
+        ``seed + index`` — a shard of a larger batch keeps its original
+        frozen seeds.  Epsilon, mode, budget and options must be
+        uniform across the slice (they are for any slice built from
+        one façade call); mixed slices raise
+        :class:`~repro.errors.AlgorithmError` before any request is
+        sent.
+        """
+        if not tasks:
+            return []
+        head = tasks[0]
+        shared = (head.epsilon, head.mode, head.budget, head.options)
+        for task in tasks[1:]:
+            if (task.epsilon, task.mode, task.budget, task.options) != shared:
+                raise AlgorithmError(
+                    "solve_tasks needs uniform epsilon/mode/budget/options "
+                    "across the slice; split mixed task lists per knob set"
+                )
+        payload = {
+            "graphs": [_graph_payload(task.graph) for task in tasks],
+            "solvers": [task.solver for task in tasks],
+            "seeds": [task.seed for task in tasks],
+            "epsilon": head.epsilon,
+            "mode": head.mode,
+            "budget": head.budget,
+            "options": dict(head.options),
         }
         response = self._request("POST", "/solve_batch", payload)
         return [cut_result_from_json(result) for result in response["results"]]

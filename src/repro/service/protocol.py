@@ -34,11 +34,15 @@ from ..graphs.io import edge_list_from_text, graph_from_json
 
 #: Bumped whenever the request/response shapes change incompatibly;
 #: surfaced by ``GET /healthz`` so clients can check before talking.
-PROTOCOL_VERSION = 1
+#: Version 2 added the optional per-task ``seeds`` / ``solvers`` lists
+#: on ``/solve_batch`` — the shard-slice form the ``remote`` backend
+#: posts (version-1 requests remain valid version-2 requests).
+PROTOCOL_VERSION = 2
 
 _SOLVE_FIELDS = ("graph", "solver", "epsilon", "mode", "seed", "budget", "options")
 _BATCH_FIELDS = (
     "graphs", "solver", "epsilon", "mode", "seed", "budget", "options", "backend",
+    "seeds", "solvers",
 )
 _MODES = ("reference", "congest")
 
@@ -132,7 +136,16 @@ def parse_solve_request(body: Any) -> dict:
 
 
 def parse_batch_request(body: Any) -> dict:
-    """Validate a ``POST /solve_batch`` envelope → ``{"graphs": [...], ...}``."""
+    """Validate a ``POST /solve_batch`` envelope → ``{"graphs": [...], ...}``.
+
+    Besides the shared knobs, a batch may carry the per-task override
+    lists ``seeds`` (integers) and ``solvers`` (registry names), each
+    exactly as long as ``graphs``.  They express a *shard slice*: tasks
+    whose seeds/solvers were frozen elsewhere (by an
+    :class:`~repro.api.engine.Engine` building the batch) and must be
+    reproduced verbatim rather than re-derived as ``seed + index`` —
+    the contract the ``remote`` backend's determinism rests on.
+    """
     body = _require_envelope(body, _BATCH_FIELDS, "solve_batch")
     if "graphs" not in body:
         raise ServiceError("solve_batch request is missing the 'graphs' field")
@@ -142,6 +155,31 @@ def parse_batch_request(body: Any) -> dict:
     backend = body.get("backend")
     if backend is not None and not isinstance(backend, str):
         raise ServiceError(f"'backend' must be a string or null, got {backend!r}")
+    seeds = body.get("seeds")
+    if seeds is not None:
+        if not isinstance(seeds, list) or len(seeds) != len(payloads):
+            raise ServiceError(
+                "'seeds' must be a list as long as 'graphs', got "
+                f"{seeds!r}"
+            )
+        for position, seed in enumerate(seeds):
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise ServiceError(
+                    f"'seeds' must hold integers; entry #{position} is {seed!r}"
+                )
+    solvers = body.get("solvers")
+    if solvers is not None:
+        if not isinstance(solvers, list) or len(solvers) != len(payloads):
+            raise ServiceError(
+                "'solvers' must be a list as long as 'graphs', got "
+                f"{solvers!r}"
+            )
+        for position, name in enumerate(solvers):
+            if not isinstance(name, str):
+                raise ServiceError(
+                    f"'solvers' must hold solver names; entry #{position} "
+                    f"is {name!r}"
+                )
     parsed = _parse_knobs(body)
     graphs = []
     for position, payload in enumerate(payloads):
@@ -153,6 +191,8 @@ def parse_batch_request(body: Any) -> dict:
             raise ServiceError(f"graph #{position}: {exc}") from exc
     parsed["graphs"] = graphs
     parsed["backend"] = backend
+    parsed["seeds"] = seeds
+    parsed["solvers"] = solvers
     return parsed
 
 

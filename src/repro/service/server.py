@@ -4,14 +4,18 @@ Architecture — three layers, separable on purpose:
 
 * :class:`ReproService` is the transport-free core: a ``dispatch``
   method mapping ``(method, path, body bytes)`` onto
-  ``(status, payload dict)``.  It owns the long-lived state — the
-  solver registry, **one shared** :class:`~repro.exec.cache.ResultCache`
-  consulted by every request (optionally disk-backed), request
-  counters and the start timestamp — and funnels all algorithm work
-  through :func:`repro.api.solve` / :func:`repro.api.solve_batch`, so
+  ``(status, payload dict)``.  Its long-lived state is **one**
+  :class:`~repro.api.engine.Engine` — the session object owning the
+  solver registry, the shared :class:`~repro.exec.cache.ResultCache`
+  consulted by every request (optionally disk-backed, optionally
+  warm-started from merged cache files) and the default batch backend
+  — plus request counters and the start timestamp.  All algorithm work
+  funnels through the engine (:meth:`Engine.solve` /
+  :meth:`Engine.build_batch_tasks` + :meth:`Engine.solve_tasks`), so
   requests become the same :class:`~repro.exec.task.SolveTask` fan-out
   the CLI's ``sweep`` uses, on the same ``serial``/``thread``/
-  ``process`` backends.
+  ``process`` backends — including shard slices whose per-task seeds
+  and solvers arrive frozen (the ``remote`` backend's wire form).
 * :class:`ReproHTTPServer` + the request handler wrap the core in a
   stdlib :class:`~http.server.ThreadingHTTPServer` (JSON over HTTP,
   no new dependencies), with an optional access-log file.
@@ -51,8 +55,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Union
 
-from ..api.facade import solve, solve_batch
-from ..api.registry import SolverRegistry, default_registry
+from ..api.engine import Engine
+from ..api.registry import SolverRegistry
 from ..errors import ReproError, ServiceError
 from ..exec.cache import ResultCache
 from .protocol import (
@@ -63,6 +67,11 @@ from .protocol import (
     parse_batch_request,
     parse_solve_request,
 )
+
+
+#: Backend names a *request* may select for the server-side fan-out.
+#: Local executors only — see the 400 in ``_handle_batch`` for why.
+_REQUEST_BACKENDS = frozenset({"serial", "thread", "process"})
 
 
 @dataclass(frozen=True)
@@ -86,21 +95,42 @@ class ServiceConfig:
 
 
 class ReproService:
-    """Transport-free request handling over the façade (see module doc)."""
+    """Transport-free request handling over one :class:`Engine`.
+
+    ``warm_start`` paths are merged into the engine's cache before the
+    first request is served — the deployment story for sharded sweeps:
+    merge the workers' ``--cache-file`` tiers (``python -m repro cache
+    merge``) and hand the result to the next fleet so it starts warm.
+    """
 
     def __init__(
         self,
         registry: Optional[SolverRegistry] = None,
         cache: Optional[ResultCache] = None,
         config: Optional[ServiceConfig] = None,
+        warm_start: tuple = (),
     ) -> None:
-        self.registry = registry if registry is not None else default_registry()
-        self.cache = cache if cache is not None else ResultCache()
         self.config = config if config is not None else ServiceConfig()
+        self.engine = Engine(
+            registry=registry,
+            cache=cache if cache is not None else ResultCache(),
+            backend=self.config.backend,
+        )
+        self.warm_start_adopted = (
+            self.engine.warm_start(*warm_start) if warm_start else 0
+        )
         self.started = time.time()
         self.counters = {"solve": 0, "solve_batch": 0, "errors": 0}
         self._solve_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+
+    @property
+    def registry(self) -> SolverRegistry:
+        return self.engine.registry
+
+    @property
+    def cache(self) -> ResultCache:
+        return self.engine.cache
 
     # -- dispatch ------------------------------------------------------
 
@@ -165,15 +195,13 @@ class ReproService:
         self._check_size(graph)
         self._count("solve")
         with self._solve_lock:
-            result = solve(
+            result = self.engine.solve(
                 graph,
                 request["solver"],
                 epsilon=request["epsilon"],
                 mode=request["mode"],
                 seed=request["seed"],
                 budget=request["budget"],
-                registry=self.registry,
-                cache=self.cache,
                 **request["options"],
             )
         return {"result": cut_result_to_json(result)}
@@ -191,20 +219,35 @@ class ReproService:
         for position, graph in enumerate(graphs):
             self._check_size(graph, label=f"graph #{position}")
         self._count("solve_batch")
-        backend = request["backend"] or self.config.backend
+        backend = request["backend"]
+        if backend is not None and backend not in _REQUEST_BACKENDS:
+            # The per-request knob selects how *this worker* fans out.
+            # Distribution-class backends ("remote") are refused: a
+            # request must not be able to turn a worker into an HTTP
+            # client of other machines (or of itself, deadlocking on
+            # the solve lock) — that topology is the operator's call,
+            # via the server-side default.
+            raise ServiceError(
+                f"'backend' must be one of {sorted(_REQUEST_BACKENDS)} "
+                f"(or null for the server default), got {backend!r}"
+            )
+        backend = backend or self.config.backend
         with self._solve_lock:
-            results = solve_batch(
+            # Freeze the batch into tasks, honouring the protocol's
+            # per-task seed/solver overrides when a shard slice arrives,
+            # then run them on the engine's backend + shared cache.
+            tasks = self.engine.build_batch_tasks(
                 graphs,
-                request["solver"],
+                solver=request["solver"],
                 epsilon=request["epsilon"],
                 mode=request["mode"],
                 seed=request["seed"],
                 budget=request["budget"],
-                registry=self.registry,
-                backend=backend,
-                cache=self.cache,
-                **request["options"],
+                options=request["options"],
+                seeds=request["seeds"],
+                solvers=request["solvers"],
             )
+            results = self.engine.solve_tasks(tasks, backend=backend)
         return {"results": [cut_result_to_json(result) for result in results]}
 
     def _handle_solvers(self, _body: object) -> dict:
@@ -334,14 +377,18 @@ def create_server(
     cache: Optional[ResultCache] = None,
     config: Optional[ServiceConfig] = None,
     access_log: Union[str, Path, None] = None,
+    warm_start: tuple = (),
 ) -> ReproHTTPServer:
     """Build a ready-to-serve HTTP server (``port=0`` picks a free port).
 
     The caller owns the lifecycle: ``serve_forever()`` to block (or run
     it in a thread, as the tests do) and ``server_close()`` to release
-    the socket and the access log.
+    the socket and the access log.  ``warm_start`` paths are merged
+    into the shared cache before the socket accepts its first request.
     """
-    service = ReproService(registry=registry, cache=cache, config=config)
+    service = ReproService(
+        registry=registry, cache=cache, config=config, warm_start=warm_start
+    )
     return ReproHTTPServer((host, port), service, access_log_path=access_log)
 
 

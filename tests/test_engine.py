@@ -1,0 +1,320 @@
+"""Engine API: configuration precedence, delegation, warm start, registry.
+
+The PR-5 redesign: :class:`repro.api.Engine` owns registry, backend,
+cache and default solver knobs; the module-level façade delegates to a
+default engine; backends are registered, not hard-coded; the cache's
+on-disk tier is versioned and mergeable.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import CutResult, Engine, default_engine, solve, solve_batch
+from repro.errors import AlgorithmError
+from repro.exec import (
+    BACKENDS,
+    CACHE_SCHEMA_VERSION,
+    Executor,
+    ResultCache,
+    SerialExecutor,
+    load_cache_file,
+    register_backend,
+    resolve_backend,
+)
+from repro.exec.task import run_task_captured
+from repro.graphs import build_family
+
+
+def _graphs(count, family="cycle", n=8):
+    return [build_family(family, n, seed=s) for s in range(count)]
+
+
+def _identity(results):
+    return [
+        (r.solver, r.value, tuple(sorted(r.side, key=repr)), r.seed)
+        for r in results
+    ]
+
+
+class TestEngineDefaults:
+    def test_engine_matches_facade(self):
+        graph = build_family("gnp", 14, seed=2)
+        engine = Engine()
+        assert _identity([engine.solve(graph)]) == _identity([solve(graph)])
+        batch = _graphs(3)
+        assert _identity(engine.solve_batch(batch)) == _identity(
+            solve_batch(batch)
+        )
+
+    def test_engine_default_solver_knobs_apply(self):
+        graph = build_family("gnp", 14, seed=2)
+        engine = Engine(solver="stoer_wagner", seed=5)
+        result = engine.solve(graph)
+        assert result.solver == "stoer_wagner"
+        assert result.seed == 5
+
+    def test_explicit_argument_beats_engine_default(self):
+        graph = build_family("gnp", 14, seed=2)
+        engine = Engine(solver="stoer_wagner", seed=5)
+        result = engine.solve(graph, "brute_force", seed=1)
+        assert result.solver == "brute_force"
+        assert result.seed == 1
+
+    def test_engine_default_beats_environment(self, monkeypatch):
+        # Precedence: explicit arg > engine default > $REPRO_BACKEND.
+        monkeypatch.setenv("REPRO_BACKEND", "nonsense")
+        engine = Engine(backend="serial")
+        results = engine.solve_batch(_graphs(2), "stoer_wagner")
+        assert len(results) == 2
+        # ... and with no engine default the env var is consulted (and
+        # rejected here, proving it was read).
+        bare = Engine()
+        with pytest.raises(AlgorithmError, match="unknown execution backend"):
+            bare.solve_batch(_graphs(2), "stoer_wagner")
+
+    def test_engine_cache_default_applies(self):
+        engine = Engine(cache=ResultCache())
+        graphs = _graphs(3)
+        first = engine.solve_batch(graphs, "stoer_wagner")
+        again = engine.solve_batch(graphs, "stoer_wagner")
+        assert all(not r.extras["cache"]["hit"] for r in first)
+        assert all(r.extras["cache"]["hit"] for r in again)
+        assert _identity(first) == _identity(again)
+
+    def test_engine_cache_accepts_a_path(self, tmp_path):
+        path = tmp_path / "cache.json"
+        engine = Engine(cache=path)
+        engine.solve(build_family("cycle", 8), "stoer_wagner")
+        assert path.exists()
+        warm = Engine(cache=str(path))
+        result = warm.solve(build_family("cycle", 8), "stoer_wagner")
+        assert result.extras["cache"]["hit"]
+
+    def test_default_engine_is_a_singleton(self):
+        assert default_engine() is default_engine()
+
+    def test_compare_puts_ground_truth_first(self):
+        graph = build_family("gnp", 12, seed=3)
+        engine = Engine()
+        results = engine.compare(graph, epsilon=0.5, seed=2)
+        truth_name = engine.registry.ground_truth().name
+        assert results[0].solver == truth_name
+        assert len(results) >= 10
+        truth = results[0].value
+        exact = [r for r in results if r.guarantee == "exact"]
+        assert all(r.value == pytest.approx(truth) for r in exact)
+
+    def test_compare_inserts_ground_truth_when_filtered_out(self):
+        graph = build_family("cycle", 8)
+        engine = Engine()
+        truth_name = engine.registry.ground_truth().name
+        results = engine.compare(graph, names=["matula"])
+        assert results[0].solver == truth_name
+        assert {r.solver for r in results} == {truth_name, "matula"}
+
+
+class TestRawKwargDeprecation:
+    def test_explicit_engine_warns_on_raw_backend(self):
+        engine = Engine()
+        with pytest.warns(DeprecationWarning, match="backend"):
+            engine.solve_batch(_graphs(2), "stoer_wagner", backend="serial")
+
+    def test_explicit_engine_warns_on_raw_cache(self):
+        engine = Engine()
+        with pytest.warns(DeprecationWarning, match="cache"):
+            engine.solve(
+                build_family("cycle", 8), "stoer_wagner", cache=ResultCache()
+            )
+
+    def test_facade_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            solve_batch(
+                _graphs(2), "stoer_wagner", backend="serial",
+                cache=ResultCache(),
+            )
+
+    def test_solve_tasks_is_the_programmatic_seam_and_does_not_warn(self):
+        engine = Engine()
+        tasks = engine.build_batch_tasks(_graphs(2), solver="stoer_wagner")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            results = engine.solve_tasks(
+                tasks, backend="serial", cache=ResultCache()
+            )
+        assert len(results) == 2
+
+    def test_min_cut_result_alias_warns(self):
+        import repro.baselines
+
+        with pytest.warns(DeprecationWarning, match="CutResult"):
+            alias = repro.baselines.MinCutResult
+        assert issubclass(alias, CutResult)
+
+
+class TestTaskPlane:
+    def test_build_batch_tasks_freezes_seeds_and_solvers(self):
+        engine = Engine()
+        tasks = engine.build_batch_tasks(
+            _graphs(3), solver="stoer_wagner", seed=10
+        )
+        assert [t.seed for t in tasks] == [10, 11, 12]
+        assert all(t.solver == "stoer_wagner" for t in tasks)
+
+    def test_per_task_overrides(self):
+        engine = Engine()
+        tasks = engine.build_batch_tasks(
+            _graphs(3),
+            seeds=[7, 3, 9],
+            solvers=["stoer_wagner", "brute_force", "stoer_wagner"],
+        )
+        assert [t.seed for t in tasks] == [7, 3, 9]
+        assert [t.solver for t in tasks] == [
+            "stoer_wagner", "brute_force", "stoer_wagner",
+        ]
+        results = engine.solve_tasks(tasks)
+        assert _identity(results) == _identity(
+            [run_task_captured(t) for t in tasks]
+        )
+
+    def test_mismatched_override_lengths_raise_typed_error(self):
+        engine = Engine()
+        with pytest.raises(AlgorithmError, match="seeds override"):
+            engine.build_batch_tasks(_graphs(2), seeds=[7])
+        with pytest.raises(AlgorithmError, match="solvers override"):
+            engine.build_batch_tasks(
+                _graphs(2), solvers=["stoer_wagner"] * 3
+            )
+
+    def test_solve_tasks_equals_solve_batch(self):
+        engine = Engine()
+        graphs = _graphs(4, family="gnp", n=12)
+        tasks = engine.build_batch_tasks(graphs, solver="stoer_wagner")
+        assert _identity(engine.solve_tasks(tasks)) == _identity(
+            engine.solve_batch(graphs, "stoer_wagner")
+        )
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process", "remote"} <= set(BACKENDS)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(AlgorithmError, match="already registered"):
+            register_backend("serial", SerialExecutor)
+
+    def test_registered_backend_usable_by_name(self):
+        calls = []
+
+        class CountingExecutor(Executor):
+            name = "counting_test"
+
+            def run_tasks(self, tasks, registry=None, keep_going=False):
+                calls.append(len(tasks))
+                return [
+                    run_task_captured(task, registry=registry)
+                    for task in tasks
+                ]
+
+        if "counting_test" not in BACKENDS:
+            register_backend("counting_test", CountingExecutor)
+        try:
+            results = solve_batch(
+                _graphs(3), "stoer_wagner", backend="counting_test"
+            )
+            assert calls == [3]
+            assert _identity(results) == _identity(
+                solve_batch(_graphs(3), "stoer_wagner")
+            )
+        finally:
+            BACKENDS.pop("counting_test", None)
+
+    def test_remote_resolves_without_workers(self):
+        # Construction must succeed (resolution happens before the pool
+        # is known); only running tasks without a pool fails.
+        executor = resolve_backend("remote")
+        assert executor.name == "remote"
+
+
+class TestCacheSchemaAndMerge:
+    def test_on_disk_file_is_versioned(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        cache.put(
+            _key(build_family("cycle", 8)),
+            CutResult(value=1.0, side=frozenset({0})),
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == CACHE_SCHEMA_VERSION
+        assert len(on_disk["entries"]) == 1
+
+    def test_legacy_unversioned_file_still_loads(self, tmp_path):
+        path = tmp_path / "cache.json"
+        key = _key(build_family("cycle", 8))
+        cache = ResultCache(path=path)
+        cache.put(key, CutResult(value=1.0, side=frozenset({0})))
+        entries = json.loads(path.read_text())["entries"]
+        path.write_text(json.dumps(entries))  # rewrite as the old format
+        reloaded = ResultCache(path=path)
+        assert reloaded.get(key) is not None
+
+    def test_newer_schema_left_untouched(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema": 99, "entries": {"x": {}}}))
+        cache = ResultCache(path=path)
+        assert cache.stats()["disk_entries"] == 0
+        with pytest.raises(AlgorithmError, match="schema"):
+            load_cache_file(path)
+
+    def test_merge_from_files_ours_win(self, tmp_path):
+        # gnp graphs differ per seed, so the two recorders share exactly
+        # the (graph #2, seed 0) entry: b replays graphs[2] at index 0.
+        graphs = _graphs(4, family="gnp", n=10)
+        a = ResultCache(path=tmp_path / "a.json")
+        b = ResultCache(path=tmp_path / "b.json")
+        solve_batch(graphs[:3], "stoer_wagner", seed=0, cache=a)
+        solve_batch(graphs[2:], "stoer_wagner", seed=2, cache=b)
+        merged = ResultCache(path=tmp_path / "merged.json")
+        assert merged.merge_from(tmp_path / "a.json") == 3
+        assert merged.merge_from(tmp_path / "b.json") == 1  # overlap skipped
+        assert merged.stats()["disk_entries"] == 4
+
+    def test_merge_from_live_memory_cache(self):
+        source = ResultCache()  # memory-only
+        graphs = _graphs(2)
+        solve_batch(graphs, "stoer_wagner", cache=source)
+        target = ResultCache()
+        assert target.merge_from(source) == 2
+        hits = solve_batch(graphs, "stoer_wagner", cache=target)
+        assert all(r.extras["cache"]["hit"] for r in hits)
+
+    def test_merge_from_is_strict_about_bad_files(self, tmp_path):
+        cache = ResultCache()
+        with pytest.raises(AlgorithmError, match="cannot read"):
+            cache.merge_from(tmp_path / "missing.json")
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        with pytest.raises(AlgorithmError, match="not valid JSON"):
+            cache.merge_from(corrupt)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(AlgorithmError, match="not a result cache"):
+            cache.merge_from(foreign)
+
+    def test_warm_started_engine_replays_all_hits(self, tmp_path):
+        graphs = _graphs(3, family="grid", n=9)
+        recorder = Engine(cache=tmp_path / "record.json")
+        recorded = recorder.solve_batch(graphs, "stoer_wagner")
+        warm = Engine()
+        assert warm.warm_start(tmp_path / "record.json") == 3
+        replayed = warm.solve_batch(graphs, "stoer_wagner")
+        assert all(r.extras["cache"]["hit"] for r in replayed)
+        assert _identity(replayed) == _identity(recorded)
+
+
+def _key(graph):
+    from repro.exec import CacheKey
+
+    return CacheKey.for_solve(graph, "stoer_wagner", seed=0)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.api import CutResult, SolverRegistry, solve, solve_batch
 from repro.errors import AlgorithmError
-from repro.exec import CacheKey, ResultCache
+from repro.exec import CACHE_SCHEMA_VERSION, CacheKey, ResultCache
 from repro.graphs import WeightedGraph, build_family
 
 
@@ -213,7 +213,9 @@ class TestPersistence:
         graphs = [build_family("cycle", 8, seed=s) for s in range(4)]
         solve_batch(graphs, "stoer_wagner", cache=cache)
         assert cache.stats()["disk_entries"] == 4
-        assert len(json.loads(path.read_text(encoding="utf-8"))) == 4
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["schema"] == CACHE_SCHEMA_VERSION
+        assert len(on_disk["entries"]) == 4
         # Atomic rename leaves no temp residue next to the cache file
         # (the persistent .lock sibling is expected).
         assert {p.name for p in tmp_path.iterdir()} <= {
@@ -256,7 +258,7 @@ class TestPersistence:
         with ThreadPoolExecutor(max_workers=4) as pool:
             list(pool.map(spam, range(4)))
         merged = json.loads(path.read_text(encoding="utf-8"))
-        assert len(merged) == 40  # every writer's entries survived
+        assert len(merged["entries"]) == 40  # every writer's entries survived
 
     def test_clear_truncates_the_file(self, tmp_path):
         path = tmp_path / "cache.json"
@@ -266,7 +268,8 @@ class TestPersistence:
             CutResult(value=1.0, side=frozenset({0})),
         )
         cache.clear()
-        assert json.loads(path.read_text(encoding="utf-8")) == {}
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk == {"schema": CACHE_SCHEMA_VERSION, "entries": {}}
 
     def test_failed_batch_still_caches_completed_results(self, tmp_path):
         registry = SolverRegistry()

@@ -1,0 +1,263 @@
+"""The ``remote`` backend: sharding, determinism, failover, fallbacks.
+
+Real :class:`ThreadingHTTPServer` workers are spun up in-process (the
+same harness the service tests use), so these tests exercise the full
+HTTP path: `Engine.build_batch_tasks` → shard slices with frozen
+seeds/solvers → worker-side `Engine.solve_tasks` → reassembly.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.api import solve_all, solve_batch
+from repro.api.registry import SolverRegistry
+from repro.errors import AlgorithmError
+from repro.exec.remote import REPRO_REMOTE_WORKERS_ENV, RemoteExecutor
+from repro.graphs import build_family
+from repro.service import ServiceConfig, create_server
+
+
+def _identity(results):
+    return [
+        (r.solver, r.value, tuple(sorted(r.side, key=repr)), r.seed)
+        for r in results
+    ]
+
+
+@pytest.fixture
+def workers():
+    """Two live service workers; yields (urls, servers)."""
+    servers = [create_server(port=0) for _ in range(2)]
+    threads = [
+        threading.Thread(target=server.serve_forever, daemon=True)
+        for server in servers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield [server.url for server in servers], servers
+    finally:
+        for server in servers:
+            try:
+                server.shutdown()
+                server.server_close()
+            except OSError:
+                pass
+
+
+def _graphs(count, family="gnp", n=12):
+    return [build_family(family, n, seed=s) for s in range(count)]
+
+
+class TestRemoteDeterminism:
+    def test_batch_identical_to_serial(self, workers):
+        urls, _ = workers
+        graphs = _graphs(7)
+        serial = solve_batch(graphs, "stoer_wagner")
+        remote = solve_batch(
+            graphs, "stoer_wagner", backend=RemoteExecutor(urls)
+        )
+        assert _identity(remote) == _identity(serial)
+        for graph, result in zip(graphs, remote):
+            assert result.matches(graph)
+
+    def test_auto_and_randomized_solvers_identical_to_serial(self, workers):
+        urls, _ = workers
+        graphs = _graphs(5, family="grid", n=9)
+        serial = solve_batch(graphs, "karger", seed=7, budget=16)
+        remote = solve_batch(
+            graphs, "karger", seed=7, budget=16, backend=RemoteExecutor(urls)
+        )
+        assert _identity(remote) == _identity(serial)
+        auto_serial = solve_batch(graphs)
+        auto_remote = solve_batch(graphs, backend=RemoteExecutor(urls))
+        assert _identity(auto_remote) == _identity(auto_serial)
+
+    def test_solve_all_fan_out_identical_to_serial(self, workers):
+        urls, _ = workers
+        graph = build_family("gnp", 12, seed=3)
+        serial = solve_all(graph, epsilon=0.5, seed=2)
+        remote = solve_all(
+            graph, epsilon=0.5, seed=2, backend=RemoteExecutor(urls)
+        )
+        assert _identity(remote) == _identity(serial)
+
+    def test_single_worker_pool_works(self, workers):
+        urls, _ = workers
+        graphs = _graphs(4)
+        remote = solve_batch(
+            graphs, "stoer_wagner", backend=RemoteExecutor(urls[:1])
+        )
+        assert _identity(remote) == _identity(
+            solve_batch(graphs, "stoer_wagner")
+        )
+
+    def test_env_var_configures_the_pool(self, workers, monkeypatch):
+        urls, _ = workers
+        monkeypatch.setenv(REPRO_REMOTE_WORKERS_ENV, ",".join(urls))
+        graphs = _graphs(4)
+        remote = solve_batch(graphs, "stoer_wagner", backend="remote")
+        assert _identity(remote) == _identity(
+            solve_batch(graphs, "stoer_wagner")
+        )
+
+
+class TestRemoteFailover:
+    def test_worker_killed_before_sweep(self, workers):
+        urls, servers = workers
+        serial = solve_batch(_graphs(6), "stoer_wagner")
+        servers[1].shutdown()
+        servers[1].server_close()
+        remote = solve_batch(
+            _graphs(6), "stoer_wagner", backend=RemoteExecutor(urls)
+        )
+        assert _identity(remote) == _identity(serial)
+
+    def test_worker_dies_mid_sweep(self, workers):
+        # A "worker" that accepts the connection and slams it shut is
+        # the observable shape of a worker dying mid-batch: the client
+        # sees a dropped connection (status 0) and must fail the shard
+        # over to the survivor.
+        urls, _ = workers
+        killer = socket.socket()
+        killer.bind(("127.0.0.1", 0))
+        killer.listen(8)
+        dying_url = f"http://127.0.0.1:{killer.getsockname()[1]}"
+        accepted = []
+
+        def slam():
+            try:
+                while True:
+                    conn, _addr = killer.accept()
+                    accepted.append(1)
+                    conn.close()  # mid-request hangup
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=slam, daemon=True)
+        thread.start()
+        try:
+            graphs = _graphs(6)
+            serial = solve_batch(graphs, "stoer_wagner")
+            remote = solve_batch(
+                graphs,
+                "stoer_wagner",
+                backend=RemoteExecutor([dying_url, urls[0]]),
+            )
+            assert _identity(remote) == _identity(serial)
+            assert accepted  # the dying worker really was contacted
+        finally:
+            killer.close()
+
+    def test_all_workers_dead_raises(self):
+        executor = RemoteExecutor(
+            ["http://127.0.0.1:9", "http://127.0.0.1:10"], timeout=2.0
+        )
+        with pytest.raises(AlgorithmError, match="every worker failed"):
+            solve_batch(_graphs(2), "stoer_wagner", backend=executor)
+
+    def test_exhausted_shard_captures_failures_per_task(self):
+        # The executor contract: run_tasks never raises mid-map — a
+        # shard that exhausts every worker records a captured
+        # AlgorithmError per task, so sibling shards' completed results
+        # survive for the caller to cache before re-raising.
+        from repro.api import Engine
+
+        executor = RemoteExecutor(["http://127.0.0.1:9"], timeout=2.0)
+        tasks = Engine().build_batch_tasks(_graphs(3), solver="stoer_wagner")
+        outcomes = executor.run_tasks(tasks)
+        assert len(outcomes) == 3
+        assert all(isinstance(o, AlgorithmError) for o in outcomes)
+        assert all("every worker failed" in str(o) for o in outcomes)
+
+    def test_no_workers_configured_raises(self, monkeypatch):
+        monkeypatch.delenv(REPRO_REMOTE_WORKERS_ENV, raising=False)
+        with pytest.raises(AlgorithmError, match="worker URLs"):
+            solve_batch(_graphs(2), "stoer_wagner", backend="remote")
+
+    def test_custom_registry_rejected(self):
+        registry = SolverRegistry()
+
+        @registry.register("only", kind="exact", guarantee="exact")
+        def _only(graph, **kw):  # pragma: no cover - rejected before running
+            raise AssertionError
+
+        with pytest.raises(AlgorithmError, match="custom registry"):
+            solve_batch(
+                _graphs(1),
+                "only",
+                registry=registry,
+                backend=RemoteExecutor(["http://127.0.0.1:9"]),
+            )
+
+
+class TestRemoteFallbacks:
+    def test_shard_over_max_batch_recovers_per_task(self):
+        # A worker with --max-batch 1 rejects every multi-task shard
+        # with 413; the executor must degrade to per-task POSTs and
+        # still return the full, correctly ordered batch.
+        server = create_server(port=0, config=ServiceConfig(max_batch=1))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            graphs = _graphs(4)
+            serial = solve_batch(graphs, "stoer_wagner")
+            remote = solve_batch(
+                graphs, "stoer_wagner", backend=RemoteExecutor([server.url])
+            )
+            assert _identity(remote) == _identity(serial)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_max_shard_chunks_requests_under_the_limit(self):
+        server = create_server(port=0, config=ServiceConfig(max_batch=2))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            graphs = _graphs(5)
+            remote = solve_batch(
+                graphs,
+                "stoer_wagner",
+                backend=RemoteExecutor([server.url], max_shard=2),
+            )
+            assert _identity(remote) == _identity(
+                solve_batch(graphs, "stoer_wagner")
+            )
+            # Every request stayed under the worker's limit: no error
+            # was counted (the 413 path bumps the error counter).
+            assert server.service.counters["errors"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_workers_refuse_distribution_backends_per_request(self, workers):
+        # A request must not be able to turn a worker into a shard
+        # router (or a client of itself): the per-request backend knob
+        # is whitelisted to local executors, structured 400 otherwise.
+        from repro.errors import ServiceError
+        from repro.service import ServiceClient
+
+        urls, _ = workers
+        client = ServiceClient(urls[0], timeout=10.0)
+        with pytest.raises(ServiceError, match="backend") as info:
+            client.solve_batch(
+                _graphs(2), "stoer_wagner", backend="remote"
+            )
+        assert info.value.status == 400
+
+    def test_solver_failure_named_by_graph_index(self, workers):
+        urls, _ = workers
+        graphs = _graphs(3, family="cycle", n=8)
+        # An unknown option detonates inside the solver adapter on the
+        # worker; the executor captures it per task and the engine
+        # raises the first failure in task order, naming the graph.
+        with pytest.raises(AlgorithmError, match=r"graph #0.*stoer_wagner"):
+            solve_batch(
+                graphs,
+                "stoer_wagner",
+                backend=RemoteExecutor(urls),
+                bogus=1,
+            )
