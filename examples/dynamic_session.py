@@ -1,0 +1,103 @@
+"""End-to-end smoke of ``/mutate`` on a *running* repro service.
+
+Usage::
+
+    python -m repro serve --port 8138 --access-log access.log &
+    python examples/dynamic_session.py http://127.0.0.1:8138
+
+Drives one server-side dynamic-graph session through
+:class:`repro.service.RemoteDynamicSession` and exits non-zero on the
+first broken property:
+
+1. open + cold solve — the remote result matches a direct in-process
+   ``repro.solve`` of the same graph;
+2. pod-style acks — every op is acknowledged with the resulting graph
+   ``content_hash``, matching a local replay;
+3. certificate skip — a non-crossing weight increase is answered from
+   the witness (``extras["certificate"]``), no solver run;
+4. cache hit — undoing back to a previously solved state is served
+   from the shared result cache;
+5. close — the session disappears from ``/healthz`` and further use
+   answers 404.
+"""
+
+import sys
+
+from repro.api import solve
+from repro.dynamic import AddEdge
+from repro.errors import ServiceError
+from repro.graphs import planted_cut_graph
+from repro.service import ServiceClient
+
+
+def main(base_url: str) -> int:
+    client = ServiceClient(base_url, timeout=60.0)
+    health = client.wait_until_ready(timeout=30.0)
+    print(f"service up: version {health['version']}, "
+          f"{health.get('sessions', 0)} session(s) open")
+
+    # 1. open + cold solve vs direct.
+    graph = planted_cut_graph((10, 10), cut_value=3, seed=5)
+    session = client.open_session(graph, solver="stoer_wagner", seed=0)
+    base = session.solve()
+    direct = solve(graph, solver="stoer_wagner", seed=0)
+    assert base.value == direct.value == 3.0, (base.value, direct.value)
+    assert base.side == direct.side
+    print(f"open+solve  : session {session.session_id} -> {base.value:g} "
+          "(matches direct)")
+
+    # 2. pod-style acks: every op acknowledged with the resulting hash.
+    u, v, w = next(
+        (u, v, w) for u, v, w in graph.edges()
+        if u in base.side and v in base.side
+    )
+    ack = session.apply(AddEdge(u, v, 5.0))
+    graph.add_edge(u, v, 5.0)  # local replay of the same mutation
+    assert ack["applied"] == "merge_edge", ack
+    assert ack["graph_hash"] == graph.content_hash(), "ack hash diverged"
+    print(f"mutate      : {ack['op']['op']} acked, hash "
+          f"{ack['graph_hash'][:12]} matches local replay")
+
+    # 3. certificate skip: the increase cannot move the min cut.
+    certified = session.solve()
+    provenance = certified.extras.get("certificate")
+    assert provenance is not None, "expected a certificate-skipped solve"
+    assert provenance["kinds"] == ["non-crossing-increase"], provenance
+    assert certified.value == base.value
+    stats = session.stats()
+    assert stats["certified"] == 1 and stats["solver_runs"] == 1, stats
+    print(f"certificate : solver skipped via {provenance['kinds'][0]} "
+          f"({stats['certified']} certified / {stats['solver_runs']} run(s))")
+
+    # 4. undo across the solve point: revisited state is a cache hit.
+    session.undo()
+    graph.set_edge_weight(u, v, w)
+    assert session.graph_hash == graph.content_hash()
+    revisited = session.solve()
+    cache_info = revisited.extras.get("cache")
+    assert cache_info and cache_info["hit"], revisited.extras
+    assert revisited.value == base.value and revisited.side == base.side
+    print(f"cache       : undo back to solved state hit the result cache "
+          f"({cache_info['hits']} hit(s))")
+
+    # 5. close: session gone from healthz, further use is 404.
+    open_before = client.health()["sessions"]
+    session.close()
+    assert client.health()["sessions"] == open_before - 1
+    try:
+        client.mutate(session=session.session_id, solve=True)
+    except ServiceError as exc:
+        assert exc.status == 404, exc
+        print(f"close       : 404 {str(exc)[:60]!r}")
+    else:
+        raise AssertionError("closed session still accepted requests")
+
+    print("dynamic session smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        raise SystemExit(2)
+    raise SystemExit(main(sys.argv[1]))

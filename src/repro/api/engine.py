@@ -450,6 +450,23 @@ class Engine:
                 raise failure
         return results  # type: ignore[return-value]  (every slot is filled)
 
+    # -- dynamic sessions ------------------------------------------------
+
+    def dynamic_session(self, graph: WeightedGraph, **knobs):
+        """Open a :class:`~repro.dynamic.session.DynamicSession` on ``graph``.
+
+        The session inherits this engine's registry, cache and solver
+        knobs; ``knobs`` (``solver=``/``epsilon=``/``mode=``/``seed=``/
+        ``patch_budget=``/``copy=``/``validate=``) override per session.
+        Mutations stream through a :class:`~repro.dynamic.ops.
+        MutationLog` with incremental index/hash maintenance, and
+        ``session.solve()`` skips the solver when a cut certificate
+        proves the cached result still stands.
+        """
+        from ..dynamic.session import DynamicSession
+
+        return DynamicSession(self, graph, **knobs)
+
     # -- warm start ------------------------------------------------------
 
     def warm_start(

@@ -12,7 +12,11 @@ Commands
 ``compare``    run every applicable registered solver on one instance
                and print the agreement table.
 ``sweep``      solve a generated batch of instances through
-               ``solve_batch`` (execution backend + result cache knobs).
+               ``solve_batch`` (execution backend + result cache knobs);
+               with ``--stream OPSFILE`` it instead drives one evolving
+               instance through a :class:`repro.dynamic.DynamicSession`,
+               replaying a mutation ops file with certificate-gated
+               re-solves.
 ``solvers``    list the solver registry with capability metadata.
 ``bounds``     certified λ interval from edge-disjoint tree packings.
 ``serve``      run the JSON-over-HTTP service (:mod:`repro.service`)
@@ -43,7 +47,8 @@ Examples
     python -m repro compare --file mygraph.edges --backend thread
     python -m repro sweep --family gnp --n 64 --count 16 --backend process
     python -m repro sweep --family grid --n 49 --count 8 --cache --repeat 2
-    python -m repro solvers
+    python -m repro sweep --stream ops.txt --family grid --n 49 --cache
+    python -m repro solvers --json
     python -m repro serve --port 8137 --cache-file service_cache.json
     python -m repro client solve --url http://127.0.0.1:8137 --family gnp --n 48
     python -m repro cache merge --out warm.json w1_cache.json w2_cache.json
@@ -55,8 +60,10 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
+import time
 from typing import Optional
 
 from .analysis import fit_power_law, format_cut_results, format_table
@@ -267,7 +274,104 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_stream(args: argparse.Namespace) -> int:
+    from .dynamic import parse_stream
+
+    graph = build_family(args.family, args.n, seed=args.seed)
+    graph.require_connected()
+    cache = _build_cache(args)
+    backend = resolve_backend(args.backend)
+    engine = Engine(backend=backend, cache=cache)
+    session = engine.dynamic_session(
+        graph,
+        solver=args.solver,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        patch_budget=args.patch_budget,
+        copy=False,
+        validate=args.validate,
+    )
+    with open(args.stream) as handle:
+        events = list(parse_stream(handle))
+
+    rows: list[list] = []
+
+    def record_solve(lineno: int) -> None:
+        result = session.solve()
+        certificate = result.extras.get("certificate")
+        if certificate is not None:
+            note = ",".join(dict.fromkeys(certificate["kinds"])) or "no-change"
+        else:
+            note = f"solver:{result.solver}"
+        info = result.extras.get("cache")
+        cache_note = "-" if info is None else ("hit" if info["hit"] else "miss")
+        rows.append(
+            [lineno, "solve", session.graph.number_of_nodes,
+             session.graph.number_of_edges,
+             session.graph.content_hash()[:12], "-",
+             f"{result.value:g}", note, cache_note]
+        )
+
+    since_solve = 0
+    started = time.perf_counter()
+    for lineno, directive, op in events:
+        if directive == "solve":
+            record_solve(lineno)
+            since_solve = 0
+            continue
+        if directive == "undo":
+            ack = session.undo()
+            action = f"undo {ack['op']['op']}"
+        else:
+            ack = session.apply(op)
+            action = ack["applied"]
+        rows.append(
+            [lineno, action, ack["n"], ack["m"], ack["graph_hash"][:12],
+             ack["index"], "-", "-", "-"]
+        )
+        if directive == "op":
+            since_solve += 1
+            if args.solve_every and since_solve >= args.solve_every:
+                record_solve(lineno)
+                since_solve = 0
+    elapsed = time.perf_counter() - started
+
+    stats = session.stats()
+    print(
+        format_table(
+            ["line", "action", "n", "m", "hash", "index", "cut value",
+             "certificate", "cache"],
+            rows,
+            title=(
+                f"stream — {args.stream} over family '{args.family}' "
+                f"(n={args.n}, seed={args.seed})"
+            ),
+        )
+    )
+    mutations = stats["ops"] + stats["undos"]
+    rate = mutations / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"\nstream            : {stats['ops']} op(s), {stats['undos']} "
+        f"undo(s), {stats['solves']} solve(s) in {elapsed:.3f}s "
+        f"({rate:.1f} mutations/sec)"
+    )
+    print(
+        f"solves            : {stats['certified']} certified skip(s), "
+        f"{stats['solver_runs']} solver run(s), "
+        f"{stats['cache_hits']} cache hit(s)"
+    )
+    index_stats = stats["index"]
+    print(
+        f"index maintenance : {index_stats['patched']} patched, "
+        f"{index_stats['rebuilt']} rebuilt, {index_stats['noops']} noop(s)"
+    )
+    _print_cache_stats(cache)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _cmd_sweep_stream(args)
     graphs = [
         build_family(args.family, args.n, seed=args.seed + i)
         for i in range(args.count)
@@ -317,6 +421,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_solvers(args: argparse.Namespace) -> int:
     registry = default_registry()
+    if args.json:
+        payload = [
+            {
+                "name": spec.name,
+                "kind": spec.kind,
+                "guarantee": spec.guarantee,
+                "congest": spec.supports_congest,
+                "randomized": spec.randomized,
+                "heavy": spec.heavy,
+                "max_nodes": spec.max_nodes,
+                "cost_at_100_300": (
+                    int(spec.cost_model(100, 300))
+                    if spec.cost_model
+                    and (spec.max_nodes is None or spec.max_nodes >= 100)
+                    else None
+                ),
+                "summary": spec.summary,
+            }
+            for spec in registry
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     yn = {True: "yes", False: "-"}
     rows = [
         [
@@ -386,8 +512,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
-    import json
-
     from .service import ServiceClient
 
     client = ServiceClient(args.url, timeout=args.timeout)
@@ -482,6 +606,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         solver = payload.get("solver")
         name = solver if isinstance(solver, str) else "<unknown>"
         by_solver[name] = by_solver.get(name, 0) + 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "path": args.path,
+                    "entries": len(entries),
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "by_solver": by_solver,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         f"{args.path}: {len(entries)} entr{_ies(len(entries))} "
         f"(schema <= {CACHE_SCHEMA_VERSION})"
@@ -587,10 +725,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=1,
         help="run the batch this many times (with --cache, later passes hit)",
     )
+    p_sweep.add_argument(
+        "--stream", default=None, metavar="OPSFILE",
+        help="dynamic mode: replay a mutation ops file against one "
+             "generated instance through a DynamicSession (one op per "
+             "line, plus bare 'solve'/'undo' directives; '#' comments)",
+    )
+    p_sweep.add_argument(
+        "--solve-every", type=int, default=None, metavar="N",
+        help="with --stream: also solve after every N applied ops "
+             "(besides explicit 'solve' lines)",
+    )
+    p_sweep.add_argument(
+        "--patch-budget", type=int, default=None, metavar="COST",
+        help="with --stream: force an index rebuild when a patch would "
+             "splice more than COST CSR entries (default: always patch)",
+    )
+    p_sweep.add_argument(
+        "--validate", action="store_true",
+        help="with --stream: cross-check every patched index and "
+             "certified solve against a from-scratch rebuild (slow)",
+    )
     _add_execution_arguments(p_sweep)
     p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_solvers = sub.add_parser("solvers", help="list the solver registry")
+    p_solvers.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON instead of a table",
+    )
     p_solvers.set_defaults(handler=_cmd_solvers)
 
     p_serve = sub.add_parser(
@@ -686,6 +849,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="entry count and per-solver breakdown of a cache file"
     )
     p_stats.add_argument("path", metavar="CACHE", help="cache file to inspect")
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the stats as JSON instead of text",
+    )
     p_stats.set_defaults(handler=_cmd_cache)
 
     p_bounds = sub.add_parser("bounds", help="certified minimum-cut interval")

@@ -1,0 +1,57 @@
+"""Dynamic-graph subsystem: mutation logs, incremental indexing, sessions.
+
+The static pipeline treats every graph as immutable content: mutate it
+and the next access rebuilds the CSR index and content hash from
+scratch.  This package turns the engine into a dynamic-graph solver:
+
+* :mod:`repro.dynamic.ops` — typed mutation ops with apply/undo and a
+  canonical serialized form (:class:`MutationLog`);
+* :mod:`repro.dynamic.incremental` — in-place :class:`GraphIndex`
+  patching and an incrementally maintained ``content_hash``
+  (:class:`IncrementalIndexer`), with rebuild fallback under a patch
+  budget;
+* :mod:`repro.dynamic.session` — :class:`DynamicSession`, which gates
+  ``solve()`` behind cut certificates and the engine's result cache.
+
+Entry point: :meth:`repro.api.Engine.dynamic_session`.
+"""
+
+from .incremental import DigestState, IncrementalIndexer, index_equal
+from .ops import (
+    AddEdge,
+    AddNode,
+    Effect,
+    MutationLog,
+    MutationOp,
+    RemoveEdge,
+    RemoveNode,
+    Reweight,
+    apply_op,
+    op_from_json,
+    op_from_text,
+    parse_stream,
+    revert,
+)
+from .session import CERTIFICATE_KINDS, DynamicSession, certify_effect
+
+__all__ = [
+    "AddEdge",
+    "AddNode",
+    "CERTIFICATE_KINDS",
+    "DigestState",
+    "DynamicSession",
+    "Effect",
+    "IncrementalIndexer",
+    "MutationLog",
+    "MutationOp",
+    "RemoveEdge",
+    "RemoveNode",
+    "Reweight",
+    "apply_op",
+    "certify_effect",
+    "index_equal",
+    "op_from_json",
+    "op_from_text",
+    "parse_stream",
+    "revert",
+]

@@ -98,11 +98,19 @@ class WeightedGraph:
         self._mutated()
 
     def set_edge_weight(self, u: Node, v: Node, weight: float) -> None:
-        """Overwrite the weight of an existing edge ``{u, v}``."""
+        """Overwrite the weight of an existing edge ``{u, v}``.
+
+        Setting an edge to its current weight is a no-op: the graph
+        content is unchanged, so the cached :meth:`index` and
+        :meth:`content_hash` stay valid and downstream result caches
+        keep serving their entries.
+        """
         if weight <= 0:
             raise GraphError(f"edge weight must be positive, got {weight!r}")
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        if self._adj[u][v] == weight:
+            return
         self._adj[u][v] = weight
         self._adj[v][u] = weight
         self._mutated()
@@ -122,6 +130,71 @@ class WeightedGraph:
         for v in list(self._adj[u]):
             del self._adj[v][u]
         del self._adj[u]
+        self._mutated()
+
+    # ------------------------------------------------------------------
+    # Seams for the dynamic subsystem (:mod:`repro.dynamic`)
+    # ------------------------------------------------------------------
+    def _adopt_caches(
+        self,
+        index: Optional["GraphIndex"] = None,
+        content_hash: Optional[str] = None,
+    ) -> None:
+        """Install externally maintained caches for the *current* version.
+
+        The incremental maintainer in :mod:`repro.dynamic.incremental`
+        patches a :class:`GraphIndex` and a content digest in place after
+        each mutation; this seam re-registers them so :meth:`index` and
+        :meth:`content_hash` serve the patched values instead of
+        rebuilding.  Callers are responsible for equivalence with a
+        from-scratch rebuild.
+        """
+        if index is not None:
+            self._index_cache = (self._version, index)
+        if content_hash is not None:
+            self._hash_cache = (self._version, content_hash)
+
+    def _insert_edge_at(
+        self, u: Node, v: Node, weight: float, pos_u: int, pos_v: int
+    ) -> None:
+        """Re-insert edge ``{u, v}`` at exact adjacency positions.
+
+        Plain :meth:`add_edge` appends the neighbour at the *end* of each
+        adjacency map, so undoing a removal with it would permute the
+        insertion order the CSR index is built from.  Mutation-log undo
+        uses this instead to restore bit-identical adjacency order.
+        """
+        if self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) already exists")
+        for node, other, pos in ((u, v, pos_u), (v, u, pos_v)):
+            items = list(self._adj[node].items())
+            items.insert(pos, (other, weight))
+            self._adj[node] = dict(items)
+        self._mutated()
+
+    def _restore_node_at(
+        self,
+        u: Node,
+        pos: int,
+        incident: Iterable[tuple[Node, float, int]],
+    ) -> None:
+        """Re-insert node ``u`` at position ``pos`` with its old edges.
+
+        ``incident`` lists ``(neighbour, weight, position-in-neighbour)``
+        in the node's original adjacency order; together with ``pos``
+        (the node's slot in the graph's node order) this restores the
+        exact pre-:meth:`remove_node` insertion order.
+        """
+        if u in self._adj:
+            raise GraphError(f"node {u!r} already exists")
+        incident = list(incident)
+        items = list(self._adj.items())
+        items.insert(pos, (u, {v: w for v, w, _ in incident}))
+        self._adj = dict(items)
+        for v, w, pos_v in incident:
+            nbr_items = list(self._adj[v].items())
+            nbr_items.insert(pos_v, (u, w))
+            self._adj[v] = dict(nbr_items)
         self._mutated()
 
     # ------------------------------------------------------------------

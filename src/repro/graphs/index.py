@@ -38,11 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class GraphIndex:
-    """Immutable flat-array view of a :class:`WeightedGraph`.
+    """Flat-array view of a :class:`WeightedGraph`.
 
     Build via :meth:`WeightedGraph.index` (cached) rather than directly;
     the constructor snapshots the graph, so a stale index silently
     describes an old graph — the cache's version check prevents that.
+
+    Consumers treat an index as immutable.  The only sanctioned writer
+    is :mod:`repro.dynamic.incremental`, which patches the arrays in
+    place after a single-edge mutation and re-registers the index via
+    ``WeightedGraph._adopt_caches`` (asserting equivalence with a
+    from-scratch rebuild in its validation mode).
     """
 
     __slots__ = (

@@ -19,19 +19,21 @@ Run one with ``python -m repro serve`` and talk to it with
 "Service layer" section for the endpoint tour.
 """
 
-from .client import ServiceClient
+from .client import RemoteDynamicSession, ServiceClient
 from .protocol import (
     PROTOCOL_VERSION,
     cut_result_from_json,
     cut_result_to_json,
     parse_batch_request,
     parse_graph,
+    parse_mutate_request,
     parse_solve_request,
 )
 from .server import ReproHTTPServer, ReproService, ServiceConfig, create_server
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "RemoteDynamicSession",
     "ReproHTTPServer",
     "ReproService",
     "ServiceClient",
@@ -41,5 +43,6 @@ __all__ = [
     "cut_result_to_json",
     "parse_batch_request",
     "parse_graph",
+    "parse_mutate_request",
     "parse_solve_request",
 ]

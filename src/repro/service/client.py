@@ -240,6 +240,70 @@ class ServiceClient:
         response = self._request("POST", "/solve_batch", payload)
         return [cut_result_from_json(result) for result in response["results"]]
 
+    # -- dynamic-graph sessions ----------------------------------------
+
+    def mutate(
+        self,
+        *,
+        session: Optional[str] = None,
+        open: Optional[dict] = None,  # noqa: A002 - protocol field name
+        ops: Sequence = (),
+        undo: int = 0,
+        solve: bool = False,
+        close: bool = False,
+    ) -> dict:
+        """``POST /mutate`` — drive one dynamic-graph session.
+
+        Arguments mirror the protocol envelope (see
+        :func:`repro.service.protocol.parse_mutate_request`); ``ops``
+        entries may be :class:`~repro.dynamic.ops.MutationOp` objects
+        or raw JSON dicts.  Returns the decoded response with
+        ``result`` (when ``solve=True``) upgraded to a
+        :class:`CutResult`.
+        """
+        payload: dict = {
+            "ops": [
+                op if isinstance(op, dict) else op.to_json() for op in ops
+            ],
+            "undo": undo,
+            "solve": solve,
+            "close": close,
+        }
+        if open is not None:
+            open = dict(open)
+            if "graph" in open:
+                open["graph"] = _graph_payload(open["graph"])
+            payload["open"] = open
+        if session is not None:
+            payload["session"] = session
+        response = self._request("POST", "/mutate", payload)
+        if response.get("result") is not None:
+            response["result"] = cut_result_from_json(response["result"])
+        return response
+
+    def open_session(
+        self,
+        graph: GraphPayload,
+        solver: str = "auto",
+        *,
+        epsilon: Optional[float] = None,
+        mode: str = "reference",
+        seed: int = 0,
+        patch_budget: Optional[int] = None,
+    ) -> "RemoteDynamicSession":
+        """Open a server-side dynamic session; returns the typed handle."""
+        response = self.mutate(
+            open={
+                "graph": graph,
+                "solver": solver,
+                "epsilon": epsilon,
+                "mode": mode,
+                "seed": seed,
+                "patch_budget": patch_budget,
+            }
+        )
+        return RemoteDynamicSession(self, response["session"], response)
+
     # -- convenience ---------------------------------------------------
 
     def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
@@ -258,4 +322,65 @@ class ServiceClient:
             time.sleep(interval)
 
 
-__all__ = ["GraphPayload", "ServiceClient"]
+class RemoteDynamicSession:
+    """Typed handle to one server-side dynamic-graph session.
+
+    The remote mirror of :class:`~repro.dynamic.session.DynamicSession`:
+    ``apply``/``undo`` return the server's per-op acknowledgement
+    (with the resulting graph hash), ``solve`` a :class:`CutResult`
+    whose ``extras`` carry certificate/cache provenance.  Batched
+    round trips go through :meth:`step` (one ``/mutate`` envelope).
+    """
+
+    def __init__(
+        self, client: ServiceClient, session_id: str, opened: dict
+    ) -> None:
+        self.client = client
+        self.session_id = session_id
+        self.last_response = opened
+        self.closed = False
+
+    @property
+    def graph_hash(self) -> Optional[str]:
+        """The server's content hash after the last round trip."""
+        return self.last_response.get("graph_hash")
+
+    def step(
+        self,
+        ops: Sequence = (),
+        *,
+        undo: int = 0,
+        solve: bool = False,
+        close: bool = False,
+    ) -> dict:
+        """One ``/mutate`` round trip (undo, then ops, then solve)."""
+        response = self.client.mutate(
+            session=self.session_id, ops=ops, undo=undo, solve=solve,
+            close=close,
+        )
+        self.last_response = response
+        self.closed = response.get("closed", False)
+        return response
+
+    def apply(self, op) -> dict:
+        """Apply one op; returns its acknowledgement record."""
+        return self.step([op])["acks"][0]
+
+    def undo(self) -> dict:
+        """Revert the most recent op; returns its acknowledgement."""
+        return self.step(undo=1)["acks"][0]
+
+    def solve(self) -> CutResult:
+        """Solve the current graph (certificate/cache-served when possible)."""
+        return self.step(solve=True)["result"]
+
+    def stats(self) -> dict:
+        """Server-side session counters from the last round trip."""
+        return self.last_response.get("stats", {})
+
+    def close(self) -> dict:
+        """Drop the server-side session."""
+        return self.step(close=True)
+
+
+__all__ = ["GraphPayload", "RemoteDynamicSession", "ServiceClient"]

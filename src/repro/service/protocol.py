@@ -36,14 +36,17 @@ from ..graphs.io import edge_list_from_text, graph_from_json
 #: surfaced by ``GET /healthz`` so clients can check before talking.
 #: Version 2 added the optional per-task ``seeds`` / ``solvers`` lists
 #: on ``/solve_batch`` — the shard-slice form the ``remote`` backend
-#: posts (version-1 requests remain valid version-2 requests).
-PROTOCOL_VERSION = 2
+#: posts.  Version 3 added ``POST /mutate`` dynamic-graph sessions
+#: (requests valid under an older version stay valid under a newer).
+PROTOCOL_VERSION = 3
 
 _SOLVE_FIELDS = ("graph", "solver", "epsilon", "mode", "seed", "budget", "options")
 _BATCH_FIELDS = (
     "graphs", "solver", "epsilon", "mode", "seed", "budget", "options", "backend",
     "seeds", "solvers",
 )
+_MUTATE_FIELDS = ("session", "open", "ops", "undo", "solve", "close")
+_OPEN_FIELDS = ("graph", "solver", "epsilon", "mode", "seed", "patch_budget")
 _MODES = ("reference", "congest")
 
 
@@ -196,6 +199,98 @@ def parse_batch_request(body: Any) -> dict:
     return parsed
 
 
+def parse_mutate_request(body: Any) -> dict:
+    """Validate a ``POST /mutate`` envelope (dynamic-graph sessions).
+
+    One request drives one session through a fixed execution order —
+    **undo, then ops, then solve, then close** — so a client can rewind
+    and replay in a single round trip.  Fields:
+
+    * ``open`` — open a new session: ``{"graph": payload}`` plus the
+      optional knobs ``solver``/``epsilon``/``mode``/``seed``/
+      ``patch_budget``.  Mutually exclusive with ``session``;
+    * ``session`` — the id of an existing session to drive;
+    * ``undo`` — number of most-recent ops to revert (default 0);
+    * ``ops`` — list of mutation ops in their canonical JSON form
+      (``{"op": "add_edge", "u": 0, "v": 5, "weight": 2.0}``, see
+      :mod:`repro.dynamic.ops`), applied in order, each individually
+      acknowledged with the resulting graph hash (pod-style);
+    * ``solve`` — solve the mutated graph after the ops (default
+      false); the result may be certificate-served from cache;
+    * ``close`` — drop the session after this request (default false).
+    """
+    from ..dynamic.ops import op_from_json
+
+    body = _require_envelope(body, _MUTATE_FIELDS, "mutate")
+    session = body.get("session")
+    if session is not None and not isinstance(session, str):
+        raise ServiceError(f"'session' must be a string id, got {session!r}")
+    open_body = body.get("open")
+    if open_body is not None:
+        if session is not None:
+            raise ServiceError(
+                "'open' and 'session' are mutually exclusive: a request "
+                "either opens a new session or drives an existing one"
+            )
+        open_body = _require_envelope(open_body, _OPEN_FIELDS, "mutate open")
+        if "graph" not in open_body:
+            raise ServiceError("mutate 'open' is missing the 'graph' field")
+        knobs = _parse_knobs(
+            {k: v for k, v in open_body.items()
+             if k in ("solver", "epsilon", "mode", "seed")}
+        )
+        patch_budget = open_body.get("patch_budget")
+        if patch_budget is not None and (
+            isinstance(patch_budget, bool)
+            or not isinstance(patch_budget, int)
+            or patch_budget < 0
+        ):
+            raise ServiceError(
+                "'patch_budget' must be a non-negative integer or null, "
+                f"got {patch_budget!r}"
+            )
+        open_body = {
+            "graph": parse_graph(open_body["graph"]),
+            "solver": knobs["solver"],
+            "epsilon": knobs["epsilon"],
+            "mode": knobs["mode"],
+            "seed": knobs["seed"],
+            "patch_budget": patch_budget,
+        }
+    elif session is None:
+        raise ServiceError(
+            "mutate request needs 'open' (new session) or 'session' (id)"
+        )
+    raw_ops = body.get("ops", [])
+    if not isinstance(raw_ops, list):
+        raise ServiceError(f"'ops' must be a list, got {raw_ops!r}")
+    ops = []
+    for position, raw in enumerate(raw_ops):
+        try:
+            ops.append(op_from_json(raw))
+        except ReproError as exc:
+            raise ServiceError(f"op #{position}: {exc}") from exc
+    undo = body.get("undo", 0)
+    if isinstance(undo, bool) or not isinstance(undo, int) or undo < 0:
+        raise ServiceError(
+            f"'undo' must be a non-negative integer, got {undo!r}"
+        )
+    solve = body.get("solve", False)
+    if not isinstance(solve, bool):
+        raise ServiceError(f"'solve' must be a boolean, got {solve!r}")
+    close = body.get("close", False)
+    if not isinstance(close, bool):
+        raise ServiceError(f"'close' must be a boolean, got {close!r}")
+    return {
+        "session": session,
+        "open": open_body,
+        "ops": ops,
+        "undo": undo,
+        "solve": solve,
+        "close": close,
+    }
+
+
 def cut_result_to_json(result: CutResult) -> dict:
     """The JSON form of a :class:`CutResult` (see module docstring)."""
     return {
@@ -269,5 +364,6 @@ __all__ = [
     "json_default",
     "parse_batch_request",
     "parse_graph",
+    "parse_mutate_request",
     "parse_solve_request",
 ]

@@ -25,8 +25,10 @@ Endpoints::
 
     POST /solve        one graph  -> one CutResult
     POST /solve_batch  many graphs -> many CutResults (backend knob)
+    POST /mutate       dynamic-graph sessions: open/ops/undo/solve/close,
+                       each op acknowledged with the resulting graph hash
     GET  /solvers      the registry with capability + cost metadata
-    GET  /healthz      version, uptime, cache hit/miss counters
+    GET  /healthz      version, uptime, cache hit/miss counters, sessions
 
 Error contract: every non-2xx response is a structured JSON body
 ``{"error": {"type", "message", "status"}}`` where ``type`` is the
@@ -50,6 +52,7 @@ import json
 import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -65,6 +68,7 @@ from .protocol import (
     error_body,
     json_default,
     parse_batch_request,
+    parse_mutate_request,
     parse_solve_request,
 )
 
@@ -83,7 +87,10 @@ class ServiceConfig:
     of tying up the solver lock); ``max_body_bytes`` bounds the raw
     request body and is enforced from the ``Content-Length`` header
     *before* any byte is read or parsed, so an oversized POST cannot
-    make a handler thread buffer it first.  ``backend`` is the default
+    make a handler thread buffer it first.  ``max_sessions`` bounds the
+    number of concurrently open ``/mutate`` dynamic-graph sessions
+    (each pins a live graph + index in server memory); opening one more
+    answers 429 until a session is closed.  ``backend`` is the default
     execution backend for ``/solve_batch`` when the request does not
     name one (``None`` defers to ``$REPRO_BACKEND`` / serial).
     """
@@ -91,6 +98,7 @@ class ServiceConfig:
     max_nodes: Optional[int] = 4096
     max_batch: Optional[int] = 256
     max_body_bytes: Optional[int] = 32 * 1024 * 1024
+    max_sessions: Optional[int] = 32
     backend: Optional[str] = None
 
 
@@ -120,7 +128,10 @@ class ReproService:
             self.engine.warm_start(*warm_start) if warm_start else 0
         )
         self.started = time.time()
-        self.counters = {"solve": 0, "solve_batch": 0, "errors": 0}
+        self.counters = {"solve": 0, "solve_batch": 0, "mutate": 0, "errors": 0}
+        #: Open dynamic-graph sessions by id; guarded by the solve lock
+        #: (session state and the shared cache are not thread-safe).
+        self.sessions: dict[str, object] = {}
         self._solve_lock = threading.Lock()
         self._stats_lock = threading.Lock()
 
@@ -142,6 +153,7 @@ class ReproService:
             "/solvers": ("GET", self._handle_solvers),
             "/solve": ("POST", self._handle_solve),
             "/solve_batch": ("POST", self._handle_batch),
+            "/mutate": ("POST", self._handle_mutate),
         }
         try:
             if path not in routes:
@@ -250,6 +262,105 @@ class ReproService:
             results = self.engine.solve_tasks(tasks, backend=backend)
         return {"results": [cut_result_to_json(result) for result in results]}
 
+    def _handle_mutate(self, body: object) -> dict:
+        """Dynamic-graph sessions: pod-style per-op-acknowledged mutation.
+
+        Execution order within one request: undo, then ops, then solve,
+        then close.  Each op is individually applied and acknowledged
+        with the resulting graph ``content_hash``; on a mid-request
+        failure the ops already acknowledged *remain applied* (the log
+        is append-only — the error body says how many committed, and
+        ``undo`` can rewind them).
+        """
+        from ..dynamic.ops import AddEdge, AddNode
+
+        request = parse_mutate_request(body)
+        self._count("mutate")
+        with self._solve_lock:
+            if request["open"] is not None:
+                opened = request["open"]
+                limit = self.config.max_sessions
+                if limit is not None and len(self.sessions) >= limit:
+                    raise ServiceError(
+                        f"{len(self.sessions)} sessions already open, at "
+                        f"this service's limit of {limit}; close one first",
+                        status=429,
+                    )
+                graph = opened["graph"]
+                self._check_size(graph)
+                session_id = uuid.uuid4().hex[:12]
+                session = self.engine.dynamic_session(
+                    graph,
+                    solver=opened["solver"],
+                    epsilon=opened["epsilon"],
+                    mode=opened["mode"],
+                    seed=opened["seed"],
+                    patch_budget=opened["patch_budget"],
+                    copy=False,  # the graph was parsed for this session
+                )
+                self.sessions[session_id] = session
+            else:
+                session_id = request["session"]
+                session = self.sessions.get(session_id)
+                if session is None:
+                    raise ServiceError(
+                        f"unknown session {session_id!r} (expired or never "
+                        "opened)",
+                        status=404,
+                    )
+            acks = []
+            committed = 0
+            try:
+                for _ in range(request["undo"]):
+                    acks.append(session.undo())
+                    committed += 1
+                node_limit = self.config.max_nodes
+                for position, op in enumerate(request["ops"]):
+                    if node_limit is not None and isinstance(
+                        op, (AddEdge, AddNode)
+                    ):
+                        growth = sum(
+                            1
+                            for x in {getattr(op, "u", None),
+                                      getattr(op, "v", None)}
+                            if x is not None and x not in session.graph
+                        )
+                        if session.graph.number_of_nodes + growth > node_limit:
+                            raise ServiceError(
+                                f"op #{position} would grow the graph past "
+                                f"this service's limit of {node_limit} nodes",
+                                status=413,
+                            )
+                    acks.append(session.apply(op))
+                    committed += 1
+            except ServiceError as exc:
+                raise ServiceError(
+                    f"{exc} ({committed} earlier action(s) in this request "
+                    "remain applied)",
+                    status=exc.status,
+                ) from exc
+            except ReproError as exc:
+                raise ServiceError(
+                    f"{exc} ({committed} earlier action(s) in this request "
+                    "remain applied)",
+                    status=400,
+                ) from exc
+            result = None
+            if request["solve"]:
+                result = cut_result_to_json(session.solve())
+            stats = session.stats()
+            graph_hash = session.graph.content_hash()
+            if request["close"]:
+                del self.sessions[session_id]
+        return {
+            "session": session_id,
+            "closed": request["close"],
+            "acks": acks,
+            "graph_hash": graph_hash,
+            "result": result,
+            "stats": stats,
+        }
+
     def _handle_solvers(self, _body: object) -> dict:
         return {
             "solvers": [
@@ -285,6 +396,7 @@ class ReproService:
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": time.time() - self.started,
             "solvers": len(self.registry),
+            "sessions": len(self.sessions),
             "cache": self.cache.stats(),
             "requests": counters,
         }

@@ -137,3 +137,81 @@ class TestRegistryDrivenCommands:
     def test_unknown_solver_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exact", "--solver", "nope"])
+
+
+class TestJsonOutput:
+    def test_solvers_json(self, capsys):
+        import json
+
+        from repro.api import default_registry
+
+        assert main(["solvers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {spec["name"] for spec in payload} == set(
+            default_registry().names()
+        )
+        assert all("guarantee" in spec for spec in payload)
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        import json
+
+        cache_file = str(tmp_path / "cache.json")
+        assert main(
+            ["sweep", "--family", "cycle", "--n", "8", "--count", "2",
+             "--cache-file", cache_file]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", cache_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["path"] == cache_file
+        assert sum(payload["by_solver"].values()) == 2
+
+
+class TestStreamMode:
+    def write_ops(self, tmp_path, text):
+        path = tmp_path / "ops.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_stream_replay(self, tmp_path, capsys):
+        ops = self.write_ops(tmp_path, "\n".join([
+            "# warm the witness first",
+            "solve",
+            "add_edge 0 5 2.0",
+            "solve",
+            "undo",
+            "solve",
+        ]))
+        assert main(
+            ["sweep", "--stream", ops, "--family", "grid", "--n", "16",
+             "--cache", "--validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mutations/sec" in out
+        assert "certificate" in out       # table column
+        assert "index maintenance" in out
+        assert "undo add_edge" in out
+        assert "1 op(s), 1 undo(s), 3 solve(s)" in out
+
+    def test_stream_solve_every(self, tmp_path, capsys):
+        ops = self.write_ops(tmp_path, "\n".join([
+            "solve",
+            "reweight 0 1 3.0",
+            "add_edge 0 5 2.0",
+        ]))
+        assert main(
+            ["sweep", "--stream", ops, "--family", "grid", "--n", "16",
+             "--solve-every", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 op(s), 0 undo(s), 3 solve(s)" in out
+
+    def test_stream_malformed_ops_file_fails_cleanly(self, tmp_path, capsys):
+        ops = self.write_ops(tmp_path, "explode 1 2\n")
+        assert main(
+            ["sweep", "--stream", ops, "--family", "grid", "--n", "16"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "line 1" in err

@@ -1,0 +1,195 @@
+"""Incremental GraphIndex + content-hash maintenance under mutation.
+
+The contract under test: after every op absorbed by
+:class:`IncrementalIndexer`, ``graph.index()`` and
+``graph.content_hash()`` are **bit-identical** to a from-scratch
+rebuild of the mutated graph — and after undoing a whole op sequence
+they are bit-identical to the *original* graph's (same CSR layout,
+same digest), because undo restores adjacency insertion order exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import (
+    AddEdge,
+    AddNode,
+    DigestState,
+    IncrementalIndexer,
+    MutationLog,
+    RemoveEdge,
+    RemoveNode,
+    Reweight,
+    index_equal,
+)
+from repro.graphs import GraphIndex, WeightedGraph, build_family
+
+DEFAULT_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def base_graph() -> WeightedGraph:
+    graph = build_family("grid", 16, seed=0)
+    graph.add_edge(0, 15, 2.5)  # a non-grid chord
+    return graph
+
+
+def assert_matches_rebuild(graph: WeightedGraph) -> None:
+    """The adopted caches must equal a cold rebuild of the same graph."""
+    assert index_equal(graph.index(), GraphIndex(graph))
+    assert graph.content_hash() == graph.copy().content_hash()
+
+
+SINGLE_OPS = [
+    Reweight(0, 1, 7.5),
+    Reweight(0, 1, 1.0),            # noop
+    AddEdge(0, 5, 2.0),             # fresh edge, existing endpoints
+    AddEdge(0, 1, 0.5),             # merge
+    AddEdge(3, 99, 1.5),            # fresh endpoint
+    AddEdge("p", "q", 3.0),         # two fresh endpoints
+    RemoveEdge(5, 6),
+    AddNode(77),
+    RemoveNode(10),
+    RemoveNode(15),                 # last-inserted node (pop-last path)
+]
+
+
+class TestSingleOpEquivalence:
+    @pytest.mark.parametrize(
+        "op", SINGLE_OPS, ids=lambda op: op.to_text().replace(" ", "_")
+    )
+    @pytest.mark.parametrize("budget", [None, 0], ids=["patch", "rebuild"])
+    def test_apply_then_undo(self, op, budget):
+        graph = base_graph()
+        log = MutationLog(graph)
+        indexer = IncrementalIndexer(graph, patch_budget=budget)
+        # Snapshot with a *fresh* build: patches mutate the cached
+        # GraphIndex object in place, so graph.index() aliases the live one.
+        original_index = GraphIndex(graph)
+        original_hash = graph.content_hash()
+
+        indexer.apply(log.apply(op))
+        assert_matches_rebuild(graph)
+
+        indexer.unapply(log.undo())
+        assert_matches_rebuild(graph)
+        assert index_equal(graph.index(), original_index)
+        assert graph.content_hash() == original_hash
+
+    def test_zero_budget_forces_rebuild_verb(self):
+        graph = base_graph()
+        log = MutationLog(graph)
+        indexer = IncrementalIndexer(graph, patch_budget=0)
+        assert indexer.apply(log.apply(AddEdge(0, 5, 2.0))) == "rebuilt"
+        # Weight overwrites never splice, so they patch under any budget.
+        assert indexer.apply(log.apply(Reweight(0, 1, 9.0))) == "patched"
+        assert indexer.stats()["rebuilt"] == 1
+
+    def test_noop_verb(self):
+        graph = base_graph()
+        log = MutationLog(graph)
+        indexer = IncrementalIndexer(graph)
+        assert indexer.apply(log.apply(Reweight(0, 1, 1.0))) == "noop"
+        assert indexer.stats() == {"patched": 0, "rebuilt": 0, "noops": 1}
+
+
+class TestSequenceRoundTrip:
+    def test_mixed_sequence_full_undo_is_bit_identical(self):
+        graph = base_graph()
+        log = MutationLog(graph)
+        indexer = IncrementalIndexer(graph, validate=True)
+        original_index = GraphIndex(graph)
+        original_hash = graph.content_hash()
+        for op in SINGLE_OPS:
+            indexer.apply(log.apply(op))
+        assert graph.content_hash() != original_hash
+        while len(log):
+            indexer.unapply(log.undo())
+        assert index_equal(graph.index(), original_index)
+        assert graph.content_hash() == original_hash
+
+    def test_adopted_caches_avoid_rebuilds(self):
+        """After a patched op, graph.index() must not rebuild."""
+        graph = base_graph()
+        log = MutationLog(graph)
+        indexer = IncrementalIndexer(graph)
+        indexer.apply(log.apply(Reweight(0, 1, 9.0)))
+        first = graph.index()
+        assert graph.index() is first  # cache adopted at current version
+
+
+class TestDigestState:
+    def test_matches_cold_hash_through_mutations(self):
+        graph = base_graph()
+        state = DigestState(graph)
+        assert state.digest() == graph.content_hash()
+        log = MutationLog(graph)
+        for op in SINGLE_OPS:
+            state.apply(log.apply(op))
+            assert state.digest() == graph.copy().content_hash()
+        while len(log):
+            state.unapply(log.undo())
+            assert state.digest() == graph.copy().content_hash()
+
+
+def draw_op(data, graph: WeightedGraph):
+    """Draw one valid op against the graph's current state."""
+    nodes = graph.nodes
+    edges = [(u, v) for u, v, _w in graph.edges()]
+    choices = ["add_edge", "add_node"]
+    if edges:
+        choices += ["reweight", "remove_edge"]
+    if len(nodes) > 1:
+        choices.append("remove_node")
+    kind = data.draw(st.sampled_from(choices))
+    if kind == "add_node":
+        return AddNode(data.draw(st.integers(0, 40)))
+    if kind == "remove_node":
+        return RemoveNode(data.draw(st.sampled_from(nodes)))
+    if kind in ("reweight", "remove_edge"):
+        u, v = data.draw(st.sampled_from(edges))
+        if kind == "remove_edge":
+            return RemoveEdge(u, v)
+        return Reweight(u, v, float(data.draw(st.integers(1, 6))))
+    u = data.draw(st.integers(0, 40))
+    v = data.draw(st.integers(0, 40))
+    if u == v or graph.has_edge(u, v):
+        return AddNode(u)  # degrade to something always valid
+    return AddEdge(u, v, float(data.draw(st.integers(1, 6))))
+
+
+class TestPropertyBased:
+    @DEFAULT_SETTINGS
+    @given(
+        st.data(),
+        st.integers(min_value=1, max_value=25),
+        st.sampled_from([None, 0, 8]),
+    )
+    def test_random_mutation_undo_round_trip(self, data, steps, budget):
+        graph = WeightedGraph([(0, 1, 2.0), (1, 2, 1.0), (0, 2, 3.0)])
+        log = MutationLog(graph)
+        # validate=True cross-checks every op against a rebuild inline.
+        indexer = IncrementalIndexer(
+            graph, patch_budget=budget, validate=True
+        )
+        original_index = GraphIndex(graph)
+        original_hash = graph.content_hash()
+        applied = 0
+        for _ in range(steps):
+            if applied and data.draw(st.booleans(), label="undo?"):
+                indexer.unapply(log.undo())
+                applied -= 1
+            else:
+                indexer.apply(log.apply(draw_op(data, graph)))
+                applied += 1
+        while applied:
+            indexer.unapply(log.undo())
+            applied -= 1
+        assert index_equal(graph.index(), original_index)
+        assert graph.content_hash() == original_hash

@@ -1,0 +1,213 @@
+"""Unit tests for typed mutation ops, effects and the MutationLog."""
+
+import json
+
+import pytest
+
+from repro.dynamic import (
+    AddEdge,
+    AddNode,
+    MutationLog,
+    RemoveEdge,
+    RemoveNode,
+    Reweight,
+    apply_op,
+    op_from_json,
+    op_from_text,
+    parse_stream,
+    revert,
+)
+from repro.errors import AlgorithmError, GraphError
+from repro.graphs import WeightedGraph
+
+ALL_OPS = [
+    AddEdge(0, 1, 2.5),
+    AddEdge("a", "b"),
+    RemoveEdge(1, 2),
+    Reweight(0, 5, 0.25),
+    AddNode(9),
+    RemoveNode("x"),
+]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.to_text())
+    def test_json_round_trip(self, op):
+        blob = json.loads(json.dumps(op.to_json()))
+        assert op_from_json(blob) == op
+
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.to_text())
+    def test_text_round_trip(self, op):
+        assert op_from_text(op.to_text()) == op
+
+    def test_text_int_labels_parse_as_ints(self):
+        assert op_from_text("add_edge 0 1 2.0") == AddEdge(0, 1, 2.0)
+
+    def test_text_string_labels_survive(self):
+        assert op_from_text("remove_node left") == RemoveNode("left")
+
+    def test_add_edge_default_weight(self):
+        assert op_from_json({"op": "add_edge", "u": 0, "v": 1}).weight == 1.0
+        assert op_from_text("add_edge 0 1").weight == 1.0
+
+    @pytest.mark.parametrize(
+        "blob,fragment",
+        [
+            ("not a dict", "must be a JSON object"),
+            ({"op": "explode"}, "unknown mutation op"),
+            ({"op": "add_edge", "u": 0, "v": 1, "nope": 2}, "unknown field"),
+            ({"op": "remove_edge", "u": 0, "v": 1, "weight": 2}, "unknown field"),
+            ({"op": "add_node", "u": True}, "int or str"),
+            ({"op": "add_edge", "u": 0, "v": [1]}, "int or str"),
+            ({"op": "reweight", "u": 0, "v": 1, "weight": "x"}, "number"),
+            ({"op": "reweight", "u": 0, "v": 1, "weight": 0}, "positive"),
+            ({"op": "reweight", "u": 0, "v": 1, "weight": -1.5}, "positive"),
+        ],
+    )
+    def test_bad_json_rejected(self, blob, fragment):
+        with pytest.raises(AlgorithmError) as excinfo:
+            op_from_json(blob)
+        assert fragment in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            ("explode 1 2", "unknown mutation op"),
+            ("add_edge 0", "argument"),
+            ("reweight 0 1", "argument"),
+            ("remove_node", "argument"),
+            ("add_edge 0 1 zero", "bad weight"),
+            ("add_edge 0 1 -3", "positive"),
+        ],
+    )
+    def test_bad_text_rejected(self, line, fragment):
+        with pytest.raises(AlgorithmError) as excinfo:
+            op_from_text(line)
+        assert fragment in str(excinfo.value)
+
+
+class TestParseStream:
+    def test_ops_directives_comments_and_blanks(self):
+        lines = [
+            "# a comment",
+            "",
+            "add_edge 0 1 2.0   # trailing comment",
+            "solve",
+            "undo",
+            "   ",
+            "remove_node 4",
+        ]
+        events = list(parse_stream(lines))
+        assert events == [
+            (3, "op", AddEdge(0, 1, 2.0)),
+            (4, "solve", None),
+            (5, "undo", None),
+            (7, "op", RemoveNode(4)),
+        ]
+
+    def test_directive_with_arguments_rejected(self):
+        with pytest.raises(AlgorithmError) as excinfo:
+            list(parse_stream(["solve now"]))
+        assert "takes no arguments" in str(excinfo.value)
+
+    def test_errors_name_the_line(self):
+        with pytest.raises(AlgorithmError) as excinfo:
+            list(parse_stream(["add_edge 0 1", "explode"]))
+        assert "line 2" in str(excinfo.value)
+
+
+class TestApplyOp:
+    def test_add_edge_fresh(self, triangle):
+        effect = apply_op(triangle, AddEdge(0, 3, 2.0))
+        assert effect.kind == "add_edge"
+        assert effect.created_nodes == (3,)
+        assert triangle.weight(0, 3) == 2.0
+
+    def test_add_edge_merges(self, triangle):
+        effect = apply_op(triangle, AddEdge(0, 1, 2.0))
+        assert effect.kind == "merge_edge"
+        assert (effect.old_weight, effect.new_weight) == (1.0, 3.0)
+        assert effect.created_nodes == ()
+
+    def test_add_edge_two_fresh_endpoints(self, triangle):
+        effect = apply_op(triangle, AddEdge(7, 8))
+        assert effect.created_nodes == (7, 8)
+
+    def test_reweight_noop_detected(self, triangle):
+        effect = apply_op(triangle, Reweight(1, 2, 2.0))
+        assert effect.kind == "noop"
+
+    def test_remove_edge_records_positions(self):
+        g = WeightedGraph([(0, 2), (0, 1), (1, 2)])
+        effect = apply_op(g, RemoveEdge(0, 1))
+        # 1 was 0's second neighbour; 0 was 1's first.
+        assert effect.positions == (1, 0)
+        assert effect.old_weight == 1.0
+
+    def test_add_node_noop_when_present(self, triangle):
+        assert apply_op(triangle, AddNode(0)).kind == "noop"
+
+    def test_remove_node_records_incident(self, triangle):
+        effect = apply_op(triangle, RemoveNode(1))
+        assert effect.node_pos == 1
+        assert {(v, w) for v, w, _pos in effect.incident} == {
+            (0, 1.0), (2, 2.0)
+        }
+
+    def test_missing_targets_raise_graph_error(self, triangle):
+        with pytest.raises(GraphError):
+            apply_op(triangle, RemoveEdge(0, 9))
+        with pytest.raises(GraphError):
+            apply_op(triangle, RemoveNode(9))
+        with pytest.raises(GraphError):
+            apply_op(triangle, Reweight(0, 9, 1.0))
+
+
+class TestRevert:
+    def test_each_kind_round_trips_exactly(self):
+        g = WeightedGraph([(0, 2), (0, 1), (1, 2), (2, 3)])
+        g.add_node(42)
+        before_hash = g.content_hash()
+        before_adj = {u: list(g.neighbors(u)) for u in g.nodes}
+        ops = [
+            AddEdge(1, 3, 2.0),
+            AddEdge(0, 1, 0.5),      # merge
+            Reweight(1, 2, 9.0),
+            Reweight(0, 2, 1.0),     # noop
+            RemoveEdge(0, 1),
+            AddNode(5),
+            AddNode(42),             # noop
+            RemoveNode(2),
+            AddEdge(6, 7, 3.0),      # two fresh endpoints
+        ]
+        effects = [apply_op(g, op) for op in ops]
+        assert g.content_hash() != before_hash
+        for effect in reversed(effects):
+            revert(g, effect)
+        assert g.content_hash() == before_hash
+        assert {u: list(g.neighbors(u)) for u in g.nodes} == before_adj
+        assert g.nodes == list(before_adj)  # node insertion order too
+
+
+class TestMutationLog:
+    def test_apply_undo_and_introspection(self, triangle):
+        log = MutationLog(triangle)
+        log.apply(AddEdge(0, 3, 2.0))
+        log.apply(Reweight(1, 2, 5.0))
+        assert len(log) == 2
+        assert [e.kind for e in log.effects] == ["add_edge", "reweight"]
+        assert log.to_json() == [
+            {"op": "add_edge", "u": 0, "v": 3, "weight": 2.0},
+            {"op": "reweight", "u": 1, "v": 2, "weight": 5.0},
+        ]
+        assert log.to_text().splitlines() == [
+            "add_edge 0 3 2.0", "reweight 1 2 5.0",
+        ]
+        assert log.undo().kind == "reweight"
+        assert triangle.weight(1, 2) == 2.0
+        assert log.undo().kind == "add_edge"
+        assert 3 not in triangle
+
+    def test_undo_empty_raises(self, triangle):
+        with pytest.raises(AlgorithmError):
+            MutationLog(triangle).undo()

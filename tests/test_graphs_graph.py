@@ -54,6 +54,35 @@ class TestConstruction:
             g.set_edge_weight(0, 2, 1.0)
 
 
+class TestNoopMutators:
+    """Mutators that provably change nothing must not invalidate caches."""
+
+    def test_set_edge_weight_to_current_value_keeps_caches(self):
+        g = WeightedGraph([(0, 1, 2.0), (1, 2, 1.0), (0, 2, 3.0)])
+        index = g.index()
+        digest = g.content_hash()
+        g.set_edge_weight(0, 1, 2.0)
+        g.set_edge_weight(1, 0, 2)  # either orientation, int spelling too
+        assert g.index() is index          # same cached object, no rebuild
+        assert g.content_hash() == digest
+
+    def test_set_edge_weight_to_new_value_still_invalidates(self):
+        g = WeightedGraph([(0, 1, 2.0), (1, 2, 1.0), (0, 2, 3.0)])
+        index = g.index()
+        digest = g.content_hash()
+        g.set_edge_weight(0, 1, 2.5)
+        assert g.index() is not index
+        assert g.content_hash() != digest
+
+    def test_add_existing_node_keeps_caches(self):
+        g = WeightedGraph([(0, 1, 2.0)])
+        index = g.index()
+        digest = g.content_hash()
+        g.add_node(0)
+        assert g.index() is index
+        assert g.content_hash() == digest
+
+
 class TestMutation:
     def test_remove_edge(self):
         g = WeightedGraph([(0, 1), (1, 2)])
