@@ -36,7 +36,7 @@ def format_cut_results(results, *, truth=None, registry=None, title="") -> str:
     :class:`repro.api.SolverRegistry`) resolves solver names to their
     display labels and kinds, with the ground-truth solver marked.
     """
-    headers = ["algorithm", "kind", "cut value", "ratio", "time (s)"]
+    headers = ["algorithm", "kind", "cut value", "ratio", "time (s)", "congest (s)"]
     rows = []
     for result in results:
         label, kind = result.solver or "<unnamed>", ""
@@ -45,7 +45,15 @@ def format_cut_results(results, *, truth=None, registry=None, title="") -> str:
             label = spec.display + (" (ground truth)" if spec.ground_truth else "")
             kind = spec.kind
         ratio = round(result.value / truth, 4) if truth else "-"
-        rows.append([label, kind, result.value, ratio, f"{result.wall_time:.4f}"])
+        # Engine wall time (RunMetrics.wall_time): identical protocols
+        # cost identical rounds on every engine, so at fixed rounds this
+        # column is a pure delivery-engine speed observable.
+        congest_time = (
+            f"{result.metrics.wall_time:.4f}" if result.metrics is not None else "-"
+        )
+        rows.append(
+            [label, kind, result.value, ratio, f"{result.wall_time:.4f}", congest_time]
+        )
     return format_table(headers, rows, title=title)
 
 

@@ -68,6 +68,7 @@ from typing import Optional
 
 from .analysis import fit_power_law, format_cut_results, format_table
 from .api import CutResult, Engine, default_registry, solve
+from .congest import numpy_available, resolve_engine
 from .core import one_respecting_min_cut_congest
 from .errors import ReproError
 from .exec import BACKENDS, ResultCache, load_cache_file, resolve_backend
@@ -160,6 +161,10 @@ def _print_metrics(result: CutResult) -> None:
             f"({summary['measured_rounds']} measured + "
             f"{summary['charged_rounds']} charged), "
             f"{summary['messages']} messages"
+        )
+        print(
+            f"congest engine    : {resolve_engine()!r}, "
+            f"{summary['wall_time']:.3f}s in run_phase"
         )
 
 
@@ -411,7 +416,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"sweep — family '{args.family}', {args.count} instance(s), "
-                f"backend {backend.name}"
+                f"backend {backend.name}, congest engine '{resolve_engine()}'"
             ),
         )
     )
@@ -422,7 +427,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_solvers(args: argparse.Namespace) -> int:
     registry = default_registry()
     if args.json:
-        payload = [
+        solvers = [
             {
                 "name": spec.name,
                 "kind": spec.kind,
@@ -441,6 +446,14 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
             }
             for spec in registry
         ]
+        payload = {
+            # Run metadata: which delivery engine CONGEST-mode solves in
+            # this environment would use (resolution honours
+            # $REPRO_CONGEST_ENGINE and numpy availability).
+            "congest_engine": resolve_engine(),
+            "numpy_available": numpy_available(),
+            "solvers": solvers,
+        }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     yn = {True: "yes", False: "-"}

@@ -9,7 +9,15 @@ metrics distinguishing *measured* from *charged* costs.
 from .legacy import LegacyCongestNetwork
 from .message import Message, check_message_size, payload_words
 from .metrics import PhaseMetrics, RunMetrics
-from .network import CongestNetwork, PhaseResult, DEFAULT_MAX_WORDS
+from .network import (
+    CongestNetwork,
+    PhaseResult,
+    DEFAULT_MAX_WORDS,
+    ENGINE_CHOICES,
+    ENGINE_ENV_VAR,
+    numpy_available,
+    resolve_engine,
+)
 from .node import Inbox, NodeContext, NodeProgram, single_message
 from .trace import MessageTracer, TraceEvent, kind_filter, node_filter
 
@@ -23,6 +31,10 @@ __all__ = [
     "LegacyCongestNetwork",
     "PhaseResult",
     "DEFAULT_MAX_WORDS",
+    "ENGINE_CHOICES",
+    "ENGINE_ENV_VAR",
+    "numpy_available",
+    "resolve_engine",
     "Inbox",
     "NodeContext",
     "NodeProgram",

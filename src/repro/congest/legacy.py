@@ -12,11 +12,18 @@ same public API, for two purposes:
   :class:`~repro.congest.metrics.PhaseMetrics` and bit-identical node
   outputs, protocol for protocol — the refactor's correctness argument.
 
-Do not grow features here; this loop is intentionally frozen.
+Do not grow features here; this loop is intentionally frozen.  PR 7
+formally deprecated the class (construction emits a
+:class:`DeprecationWarning`): with three production engines behind
+``CongestNetwork(engine=...)`` its only remaining roles are as the
+benchmark reference and the equivalence oracle, and it will be dropped
+once the roadmap's legacy-retirement item completes.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from collections import deque
 from typing import Any, Optional
 
@@ -64,6 +71,13 @@ class LegacyCongestNetwork(CongestNetwork):
         strict: bool = True,
         tracer=None,
     ) -> None:
+        warnings.warn(
+            "LegacyCongestNetwork is deprecated; it remains only as the "
+            "benchmark reference and equivalence oracle. Use "
+            "CongestNetwork(engine=...) instead.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             graph,
             max_words_per_message=max_words_per_message,
@@ -80,6 +94,11 @@ class LegacyCongestNetwork(CongestNetwork):
             for u in self._nodes
         }
 
+    @property
+    def active_engine(self) -> str:
+        """Always the frozen reference loop."""
+        return "legacy"
+
     def run_phase(
         self,
         name: str,
@@ -87,6 +106,7 @@ class LegacyCongestNetwork(CongestNetwork):
         max_rounds: Optional[int] = None,
     ) -> PhaseResult:
         """The original tuple-keyed FIFO loop (see module docstring)."""
+        started = time.perf_counter()
         limit = max_rounds if max_rounds is not None else 2_000_000
         phase = PhaseMetrics(name=name)
         outputs: dict[NodeId, dict[str, Any]] = {u: {} for u in self._nodes}
@@ -175,6 +195,7 @@ class LegacyCongestNetwork(CongestNetwork):
                 raise CongestError(
                     f"node {u!r} attempted to send from on_stop in phase {name!r}"
                 )
+        phase.wall_time = time.perf_counter() - started
         self.metrics.add_phase(phase)
         return PhaseResult(phase, outputs)
 

@@ -19,7 +19,7 @@ from typing import Any
 from ..errors import BandwidthExceededError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A single CONGEST message.
 
@@ -39,6 +39,11 @@ class Message:
         (metrics) — previously two full recursive recounts per hop; a
         multicast message shared across many edges pays the count
         exactly once.
+
+    The class is slotted: the engine allocates one instance per logical
+    message (shared across multicast fan-out and relays), and at P1
+    volumes the ``__dict__``-free layout is a measurable share of the
+    per-message cost.
     """
 
     kind: str
@@ -55,6 +60,18 @@ class Message:
             elif item is not None:
                 total += payload_words(item)
         object.__setattr__(self, "words", total)
+
+    # Frozen+slotted dataclasses only pickle out of the box from Python
+    # 3.11; the explicit state hooks keep messages picklable on 3.10
+    # (node memory containing messages may cross the process backend).
+    def __getstate__(self) -> tuple:
+        return (self.kind, self.payload, self.words)
+
+    def __setstate__(self, state: tuple) -> None:
+        setattr_ = object.__setattr__
+        setattr_(self, "kind", state[0])
+        setattr_(self, "payload", state[1])
+        setattr_(self, "words", state[2])
 
 
 #: Scalar payload types charged exactly one word (exact type match is the

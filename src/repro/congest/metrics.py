@@ -16,7 +16,14 @@ from dataclasses import dataclass, field
 
 @dataclass
 class PhaseMetrics:
-    """Costs of a single phase run to quiescence."""
+    """Costs of a single phase run to quiescence.
+
+    ``wall_time`` is the real-clock duration of the ``run_phase`` call in
+    seconds.  It is excluded from equality (``compare=False``): two runs
+    are *the same computation* when rounds/messages/words agree, however
+    long the simulator took — the equivalence suite compares
+    ``PhaseMetrics`` objects directly and must not depend on timing.
+    """
 
     name: str
     rounds: int = 0
@@ -24,6 +31,7 @@ class PhaseMetrics:
     words: int = 0
     max_message_words: int = 0
     max_edge_backlog: int = 0
+    wall_time: float = field(default=0.0, compare=False)
 
     def merge_message(self, words: int) -> None:
         self.messages += 1
@@ -66,6 +74,18 @@ class RunMetrics:
     def max_edge_backlog(self) -> int:
         return max((p.max_edge_backlog for p in self.phases), default=0)
 
+    @property
+    def wall_time(self) -> float:
+        """Total simulator wall-clock seconds across measured phases.
+
+        An engine-speed observable: identical protocols produce identical
+        rounds/messages on every engine, so a jump here (at constant
+        rounds) is a delivery-engine regression — visible in
+        ``summary()`` and ``extras["congest"]`` without rerunning the P1
+        benchmark.
+        """
+        return sum(p.wall_time for p in self.phases)
+
     def add_phase(self, phase: PhaseMetrics) -> None:
         self.phases.append(phase)
 
@@ -82,7 +102,7 @@ class RunMetrics:
         self.charged_rounds += other.charged_rounds
         self.charged_notes.extend(other.charged_notes)
 
-    def summary(self) -> dict[str, int]:
+    def summary(self) -> dict:
         """Compact dictionary used by benchmarks and reports."""
         return {
             "measured_rounds": self.measured_rounds,
@@ -91,6 +111,7 @@ class RunMetrics:
             "messages": self.total_messages,
             "words": self.total_words,
             "max_message_words": self.max_message_words,
+            "wall_time": round(self.wall_time, 6),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -53,23 +53,35 @@ class DowncastItems(NodeProgram):
         self.items = items
         self.out_key = out_key
         self._children: list = []
+        self._record_append = None
+        self._relay = None
 
     def on_start(self, ctx: NodeContext) -> None:
         record = ctx.memory.setdefault(self.out_key, [])
-        # The tree is static for the phase: read it once, not per round.
-        self._children = self.spec.children(ctx)
+        # The tree is static for the phase: read it once, and bind the
+        # per-hop operations (record, validated relay) once — on_round
+        # runs once per delivered item, the hottest program path in the
+        # library.
+        self._children = children = self.spec.children(ctx)
+        self._record_append = record.append
+        self._relay = ctx.relay(children) if children else None
         for item in self.items(ctx):
             record.append(tuple(item))
-            ctx.multicast(self._children, self.KIND, *item)
+            ctx.multicast(children, self.KIND, *item)
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
-        record = ctx.memory[self.out_key]
-        children = self._children
+        record_append = self._record_append
+        relay = self._relay
+        kind = self.KIND
+        if relay is None:  # leaf: record only
+            for _src, msg in inbox:
+                if msg.kind == kind:
+                    record_append(_as_item(msg.payload))
+            return
         for _src, msg in inbox:
-            if msg.kind != self.KIND:
-                continue
-            record.append(_as_item(msg.payload))
-            ctx.forward(children, msg)
+            if msg.kind == kind:
+                record_append(_as_item(msg.payload))
+                relay(msg)
 
 
 class UpcastUnion(NodeProgram):
@@ -86,11 +98,15 @@ class UpcastUnion(NodeProgram):
         self.items = items
         self.out_key = out_key
         self._parent = None
+        self._seen = None
+        self._relay = None
 
     def on_start(self, ctx: NodeContext) -> None:
         seen: set[tuple] = set()
+        self._seen = seen
         ctx.memory[self.out_key] = seen
         parent = self._parent = self.spec.parent(ctx)
+        self._relay = ctx.relay((parent,)) if parent is not None else None
         for item in self.items(ctx):
             item = tuple(item)
             if item not in seen:
@@ -99,16 +115,20 @@ class UpcastUnion(NodeProgram):
                     ctx.send(parent, self.KIND, *item)
 
     def on_round(self, ctx: NodeContext, inbox: Inbox) -> None:
-        seen = ctx.memory[self.out_key]
-        parent = self._parent
+        seen = self._seen
+        relay = self._relay
+        kind = self.KIND
+        if relay is None:  # root: dedup only
+            for _src, msg in inbox:
+                if msg.kind == kind:
+                    seen.add(_as_item(msg.payload))
+            return
         for _src, msg in inbox:
-            if msg.kind != self.KIND:
-                continue
-            item = _as_item(msg.payload)
-            if item not in seen:
-                seen.add(item)
-                if parent is not None:
-                    ctx.forward((parent,), msg)
+            if msg.kind == kind:
+                item = _as_item(msg.payload)
+                if item not in seen:
+                    seen.add(item)
+                    relay(msg)
 
 
 def gossip_items(

@@ -147,10 +147,14 @@ class TestJsonOutput:
 
         assert main(["solvers", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert {spec["name"] for spec in payload} == set(
+        assert {spec["name"] for spec in payload["solvers"]} == set(
             default_registry().names()
         )
-        assert all("guarantee" in spec for spec in payload)
+        assert all("guarantee" in spec for spec in payload["solvers"])
+        from repro.congest import ENGINE_CHOICES
+
+        assert payload["congest_engine"] in ENGINE_CHOICES[1:]
+        assert isinstance(payload["numpy_available"], bool)
 
     def test_cache_stats_json(self, tmp_path, capsys):
         import json

@@ -1,20 +1,41 @@
-"""Engine equivalence: the indexed loop reproduces the legacy loop exactly.
+"""Engine equivalence: every delivery engine reproduces the legacy loop.
 
 PR 3 rewrote :meth:`CongestNetwork.run_phase` on flat arrays indexed by
-directed-edge id; the original dict-based loop survives as
-:class:`~repro.congest.legacy.LegacyCongestNetwork`.  These tests run
-representative protocols — BFS, convergecast, pipelined keyed sums,
-gossip, Borůvka MST, and the full 1-respecting min-cut sweep — on both
-engines and assert **identical** :class:`PhaseMetrics` (rounds,
-messages, words, max backlog), bit-identical node outputs, and
-bit-identical persistent memory, seed for seed.  The indexed engine's
-delivery order mirrors the legacy dict's insertion-order iteration by
-construction, so even float accumulations agree to the last bit.
+directed-edge id; PR 7 split delivery into three selectable engines
+(per-message, batched, numpy) behind ``CongestNetwork(engine=...)``,
+with the original dict-based loop surviving as
+:class:`~repro.congest.legacy.LegacyCongestNetwork` — the oracle here.
+These tests run representative protocols — BFS, convergecast, pipelined
+keyed sums, gossip, Borůvka MST, and the full 1-respecting min-cut
+sweep — on every engine and assert **identical**
+:class:`PhaseMetrics` (rounds, messages, words, max backlog),
+bit-identical node outputs, and bit-identical persistent memory, seed
+for seed.  Each engine's delivery order mirrors the legacy dict's
+insertion-order iteration by construction (down to building the active
+set from a dict, whose CPython table layout differs from a set built
+off a list), so even float accumulations and arrival orders agree to
+the last bit.
+
+A hypothesis-driven generator closes the gap between the fixed protocol
+matrix and the space of schedules: random programs draw their sends
+from per-node RNGs, so any divergence in inbox order between engines
+immediately cascades into divergent RNG streams and is caught by the
+memory comparison.
 """
 
-import pytest
+import random
+import warnings
 
-from repro.congest import CongestNetwork, LegacyCongestNetwork
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest import (
+    CongestNetwork,
+    LegacyCongestNetwork,
+    NodeProgram,
+    numpy_available,
+)
 from repro.core import one_respecting_min_cut_congest
 from repro.graphs import (
     build_family,
@@ -31,7 +52,25 @@ from repro.primitives import (
     gossip_items,
 )
 
-ENGINES = (LegacyCongestNetwork, CongestNetwork)
+
+def _legacy(graph):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return LegacyCongestNetwork(graph)
+
+
+def _engine_factories():
+    """(name, factory) per engine; the legacy oracle is always first."""
+    factories = [
+        ("legacy", _legacy),
+        ("batched", lambda g: CongestNetwork(g, engine="batched")),
+    ]
+    if numpy_available():
+        factories.append(("numpy", lambda g: CongestNetwork(g, engine="numpy")))
+    return factories
+
+
+ENGINE_NAMES = tuple(name for name, _ in _engine_factories())
 
 
 def _graph_cases():
@@ -53,33 +92,41 @@ def _phase_tuples(net):
     ]
 
 
-def _run_on_both(graph, driver):
-    """Run ``driver(network)`` on both engines; return both networks and
-    the driver results."""
+def _run_on_all(graph, driver):
+    """Run ``driver(network)`` on every engine; return networks+results."""
     nets, results = [], []
-    for engine in ENGINES:
-        net = engine(graph)
+    for engine_name, factory in _engine_factories():
+        net = factory(graph)
+        assert net.active_engine == engine_name
         results.append(driver(net))
         nets.append(net)
     return nets, results
 
 
 def _assert_networks_identical(nets):
-    legacy, indexed = nets
-    assert _phase_tuples(indexed) == _phase_tuples(legacy)
-    assert indexed.metrics.charged_rounds == legacy.metrics.charged_rounds
-    assert tuple(indexed.nodes) == tuple(legacy.nodes)
-    for u in legacy.nodes:
-        assert indexed.memory[u] == legacy.memory[u], f"memory differs at {u!r}"
+    legacy = nets[0]
+    for net, engine_name in zip(nets[1:], ENGINE_NAMES[1:]):
+        assert _phase_tuples(net) == _phase_tuples(legacy), engine_name
+        assert net.metrics.charged_rounds == legacy.metrics.charged_rounds
+        assert tuple(net.nodes) == tuple(legacy.nodes)
+        for u in legacy.nodes:
+            assert net.memory[u] == legacy.memory[u], (
+                f"{engine_name} memory differs at {u!r}"
+            )
+
+
+def _assert_all_equal(results, label):
+    first = results[0]
+    for result, engine_name in zip(results[1:], ENGINE_NAMES[1:]):
+        assert result == first, f"{engine_name} {label} diverges"
 
 
 @pytest.mark.parametrize("name,graph", _graph_cases())
 class TestProtocolEquivalence:
     def test_bfs_tree(self, name, graph):
-        nets, results = _run_on_both(graph, lambda net: build_bfs_tree(net))
+        nets, results = _run_on_all(graph, lambda net: build_bfs_tree(net))
         _assert_networks_identical(nets)
-        legacy_result, indexed_result = results
-        assert indexed_result.outputs == legacy_result.outputs
+        _assert_all_equal([r.outputs for r in results], "outputs")
 
     def test_convergecast_weighted_degrees(self, name, graph):
         def driver(net):
@@ -91,10 +138,9 @@ class TestProtocolEquivalence:
                 ),
             )
 
-        nets, results = _run_on_both(graph, driver)
+        nets, results = _run_on_all(graph, driver)
         _assert_networks_identical(nets)
-        legacy_result, indexed_result = results
-        assert indexed_result.outputs == legacy_result.outputs
+        _assert_all_equal([r.outputs for r in results], "outputs")
 
     def test_pipelined_keyed_sums(self, name, graph):
         def driver(net):
@@ -107,7 +153,7 @@ class TestProtocolEquivalence:
                 ),
             )
 
-        nets, results = _run_on_both(graph, driver)
+        nets, results = _run_on_all(graph, driver)
         _assert_networks_identical(nets)
 
     def test_gossip(self, name, graph):
@@ -119,16 +165,14 @@ class TestProtocolEquivalence:
             )
             return net.memory_map("eq:gossip")
 
-        nets, results = _run_on_both(graph, driver)
+        nets, results = _run_on_all(graph, driver)
         _assert_networks_identical(nets)
-        legacy_map, indexed_map = results
-        assert indexed_map == legacy_map
+        _assert_all_equal(results, "gossip map")
 
     def test_boruvka_mst(self, name, graph):
-        nets, results = _run_on_both(graph, boruvka_mst)
+        nets, results = _run_on_all(graph, boruvka_mst)
         _assert_networks_identical(nets)
-        legacy_tree, indexed_tree = results
-        assert sorted(indexed_tree.edges()) == sorted(legacy_tree.edges())
+        _assert_all_equal([sorted(t.edges()) for t in results], "mst edges")
 
 
 @pytest.mark.parametrize("seed", [0, 1])
@@ -139,12 +183,11 @@ def test_one_respect_sweep_equivalence(seed):
     def driver(net):
         return one_respecting_min_cut_congest(graph, tree, network=net)
 
-    nets, results = _run_on_both(graph, driver)
+    nets, results = _run_on_all(graph, driver)
     _assert_networks_identical(nets)
-    legacy_result, indexed_result = results
-    assert indexed_result.best_value == legacy_result.best_value
-    assert indexed_result.best_node == legacy_result.best_node
-    assert indexed_result.cut_values == legacy_result.cut_values
+    _assert_all_equal([r.best_value for r in results], "best_value")
+    _assert_all_equal([r.best_node for r in results], "best_node")
+    _assert_all_equal([r.cut_values for r in results], "cut_values")
 
 
 def test_one_respect_simulated_partition_equivalence():
@@ -156,8 +199,79 @@ def test_one_respect_simulated_partition_equivalence():
             graph, tree, network=net, simulate_partition=True
         )
 
-    nets, results = _run_on_both(graph, driver)
+    nets, results = _run_on_all(graph, driver)
     _assert_networks_identical(nets)
-    legacy_result, indexed_result = results
-    assert indexed_result.best_value == legacy_result.best_value
-    assert indexed_result.cut_values == legacy_result.cut_values
+    _assert_all_equal([r.best_value for r in results], "best_value")
+    _assert_all_equal([r.cut_values for r in results], "cut_values")
+
+
+# -- randomized schedule equivalence ----------------------------------
+
+
+class _RandomWalkProgram(NodeProgram):
+    """A randomized, self-terminating protocol for schedule fuzzing.
+
+    Each node owns a deterministic RNG seeded by ``(seed, node)``; on
+    start it emits a few TTL-bounded tokens, and on every delivery it
+    records the arrival (round, sender, payload) and forwards surviving
+    tokens to randomly drawn neighbours, sometimes duplicating them.
+    Every RNG draw happens in inbox order, so engines only stay in
+    lockstep if their delivery and dispatch orders are bit-identical —
+    any divergence snowballs into different sends, different metrics,
+    and different memory.  TTLs strictly decrease, so quiescence is
+    guaranteed.
+    """
+
+    KIND = "tok"
+
+    def __init__(self, node, seed):
+        self.rng = random.Random(hash((seed, node)))
+
+    def on_start(self, ctx):
+        ctx.memory["fuzz:log"] = log = []
+        rng = self.rng
+        for _ in range(rng.randint(0, 3)):
+            ttl = rng.randint(0, 3)
+            token = rng.randint(0, 99)
+            target = rng.choice(ctx.neighbors)
+            log.append(("start", target, ttl, token))
+            ctx.send(target, self.KIND, ttl, token)
+
+    def on_round(self, ctx, inbox):
+        log = ctx.memory["fuzz:log"]
+        rng = self.rng
+        for src, msg in inbox:
+            ttl, token = msg.payload
+            log.append((ctx.round, src, ttl, token))
+            if ttl > 0:
+                for _ in range(rng.randint(1, 2)):
+                    target = rng.choice(ctx.neighbors)
+                    ctx.send(target, self.KIND, ttl - 1, token)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    graph_case=st.sampled_from(["gnp-49", "grid-36", "regular-36"]),
+)
+def test_random_program_equivalence(seed, graph_case):
+    graph = dict(_graph_cases())[graph_case]
+
+    def driver(net):
+        return net.run_phase(
+            "fuzz", lambda u: _RandomWalkProgram(u, seed), max_rounds=10_000
+        )
+
+    nets, results = _run_on_all(graph, driver)
+    _assert_networks_identical(nets)
+    _assert_all_equal([r.outputs for r in results], "outputs")
+
+
+def test_legacy_network_emits_deprecation_warning():
+    graph = grid_graph(3, 3)
+    with pytest.warns(DeprecationWarning, match="LegacyCongestNetwork"):
+        LegacyCongestNetwork(graph)

@@ -1,13 +1,18 @@
 """Tests for the message tracer and its engine hook."""
 
+import warnings
+
+import pytest
 
 from repro.congest import (
     CongestNetwork,
+    LegacyCongestNetwork,
     MessageTracer,
     kind_filter,
     node_filter,
+    numpy_available,
 )
-from repro.graphs import RootedTree, path_graph, star_graph
+from repro.graphs import RootedTree, build_family, path_graph, star_graph
 from repro.primitives import SPANNING_TREE, build_bfs_tree, load_tree_into_memory
 from repro.primitives.keyed_sums import PipelinedKeyedSum
 
@@ -80,6 +85,49 @@ class TestFilters:
         _traced_bfs(star_graph(8), tracer)
         assert len(tracer) == 3
         assert tracer.dropped > 0
+
+
+class TestEngineInteraction:
+    """A tracer must observe every hop, so batched delivery is illegal
+    while one is attached: the engine silently degrades to the
+    per-message path and produces the identical event stream."""
+
+    def test_tracer_forces_per_message_path(self):
+        graph = star_graph(5)
+        for engine in (None, "auto", "batched", "numpy"):
+            if engine == "numpy" and not numpy_available():
+                continue
+            net = CongestNetwork(graph, tracer=MessageTracer(), engine=engine)
+            assert net.active_engine == "per-message"
+
+    def test_active_engine_without_tracer(self):
+        graph = star_graph(5)
+        net = CongestNetwork(graph, engine="batched")
+        assert net.active_engine == "batched"
+
+    @pytest.mark.parametrize("engine", ["batched", "numpy"])
+    def test_traced_events_identical_to_legacy(self, engine):
+        if engine == "numpy" and not numpy_available():
+            pytest.skip("numpy not installed")
+        graph = build_family("gnp", 36, seed=3)
+
+        def events(net, tracer):
+            build_bfs_tree(net, root=0)
+            return [
+                (e.phase, e.round, e.src, e.dst, e.kind, e.payload)
+                for e in tracer.events
+            ]
+
+        legacy_tracer = MessageTracer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_net = LegacyCongestNetwork(graph, tracer=legacy_tracer)
+        legacy_events = events(legacy_net, legacy_tracer)
+
+        tracer = MessageTracer()
+        net = CongestNetwork(graph, tracer=tracer, engine=engine)
+        assert net.active_engine == "per-message"
+        assert events(net, tracer) == legacy_events
 
 
 class TestRendering:
