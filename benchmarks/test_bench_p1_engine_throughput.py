@@ -1,11 +1,21 @@
-"""P1 — CONGEST engine throughput: legacy vs batched vs numpy delivery.
+"""P1 — CONGEST engine throughput: batched baseline vs per-message/numpy.
 
 Not a paper claim: this is the simulator's own performance trajectory.
 PR 3 rewrote :meth:`CongestNetwork.run_phase` on the cached
 :class:`~repro.graphs.index.GraphIndex`; PR 7 replaced that loop with a
 run-scheduled batched delivery engine plus an optional numpy-backed
-variant (``CongestNetwork(engine=...)``), keeping the seed's dict loop
-verbatim in :class:`LegacyCongestNetwork` as the reference oracle.
+variant (``CongestNetwork(engine=...)``), measured at >=5x aggregate
+over the seed's preserved dict loop on this stream series (5.41x
+batched / 5.43x numpy — see the PR 7 table in git history).  PR 8
+retired that legacy loop, so the historical 5x milestone can no longer
+be regenerated; this table is **re-baselined against the batched
+engine** and now tracks *parity* across the production engines plus
+the per-message oracle path (the indexed one-dispatch-per-hop branch
+that tracers force and the equivalence suite pins).  The per-message
+path shares the PR 3/7 wins — cached message sizes, flat directed-edge
+arrays — so on delivery-bound streams it sits near 1x of batched; the
+gate here is that no engine regresses past the parity band, and that
+results stay bit-identical.
 
 Two series are regenerated:
 
@@ -14,24 +24,18 @@ Two series are regenerated:
   to every node through the tree, the workload the batched engine's run
   scheduling targets.  Program callbacks are trivial (record + relay),
   so wall time is dominated by the delivery engine itself: per-hop FIFO
-  movement, receiver-set construction, and the per-message word audit
-  (which the legacy loop recomputes recursively per hop while the new
-  engines read a size cached at construction).  The ≥5× milestone is
-  asserted on this series' aggregate.
+  movement, receiver-set construction, and the per-message word audit.
 
 * **E1 series (informational)** — the full distributed 1-respecting
-  min-cut of Theorem 2.1, end to end.  Kept from the PR 3 table as the
-  honest end-to-end number: roughly two thirds of an E1 solve is spent
-  inside protocol callbacks that every engine shares, which caps the
-  achievable ratio near 1.5–2× regardless of delivery cost (measured:
-  a hypothetical zero-cost engine would reach only ~4.4×).  Asserting
-  5× here would gate on the part of the system this PR does not touch —
-  that mismatch is why the P1 workload was redefined; the solve rows
-  remain so the end-to-end trajectory stays visible.
+  min-cut of Theorem 2.1, end to end.  Kept as the honest end-to-end
+  number: roughly two thirds of an E1 solve is spent inside protocol
+  callbacks that every engine shares, so all engines sit near parity
+  here by construction.  The solve rows remain so the end-to-end
+  trajectory stays visible.
 
 Every row asserts bit-identical results across engines (PhaseMetrics
 equality and identical node memory for streams; cut value, rounds and
-messages for E1) — the speedup is never allowed to come from divergent
+messages for E1) — the ratios are never allowed to come from divergent
 behaviour.  The E1 rows run the *default* engine (``engine=None``), so
 ``$REPRO_CONGEST_ENGINE`` legs of the CI benchmark smoke exercise and
 upload per-engine variants of this table.
@@ -40,17 +44,11 @@ upload per-engine variants of this table.
 import math
 import os
 import time
-import warnings
 
 from conftest import run_once
 
 from repro.analysis import format_table
-from repro.congest import (
-    CongestNetwork,
-    LegacyCongestNetwork,
-    numpy_available,
-    resolve_engine,
-)
+from repro.congest import CongestNetwork, numpy_available, resolve_engine
 from repro.core import one_respecting_min_cut_congest
 from repro.graphs import build_family, random_spanning_tree
 from repro.primitives.bfs import BFS_TREE, build_bfs_tree
@@ -64,11 +62,9 @@ STREAM_REPEATS = 5
 E1_FAMILIES = (("gnp", 324), ("grid", 625))
 E1_REPEATS = 3
 
-
-def _legacy_network(graph, **kwargs):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return LegacyCongestNetwork(graph, **kwargs)
+# Any engine slower than 1/PARITY_FLOOR x the batched baseline on a
+# delivery-bound stream is a regression worth failing on.
+PARITY_FLOOR = 0.4
 
 
 def _stream_items(ctx):
@@ -114,23 +110,23 @@ def _geomean(values):
 
 
 def _stream_series():
-    """Per-engine stream rows plus aggregate speedups."""
-    engines = ["batched"]
+    """Per-engine stream rows plus aggregate parity ratios vs batched."""
+    engines = ["per-message"]
     if numpy_available():
         engines.append("numpy")
     rows = []
-    speedups = {engine: [] for engine in engines}
+    ratios = {engine: [] for engine in engines}
     for family, size in STREAM_FAMILIES:
         graph = build_family(family, size, seed=2)
-        legacy_time, (legacy_pm, legacy_mem) = _timed_stream(
-            _legacy_network, graph
+        base_time, (base_pm, base_mem) = _timed_stream(
+            lambda g, **kw: CongestNetwork(g, engine="batched", **kw), graph
         )
         row = [
             family,
             graph.number_of_nodes,
-            legacy_pm.rounds,
-            legacy_pm.messages,
-            round(legacy_time, 3),
+            base_pm.rounds,
+            base_pm.messages,
+            round(base_time, 3),
         ]
         for engine in engines:
             engine_time, (pm, mem) = _timed_stream(
@@ -138,39 +134,41 @@ def _stream_series():
             )
             # Bit-identical behaviour: same metrics (wall_time excluded
             # from dataclass comparison), same per-node item streams.
-            assert pm == legacy_pm, f"{engine} metrics diverge on {family}"
-            assert mem == legacy_mem, f"{engine} memory diverges on {family}"
-            speedup = legacy_time / engine_time
-            speedups[engine].append(speedup)
-            row += [round(engine_time, 3), round(speedup, 2)]
+            assert pm == base_pm, f"{engine} metrics diverge on {family}"
+            assert mem == base_mem, f"{engine} memory diverges on {family}"
+            ratio = base_time / engine_time
+            ratios[engine].append(ratio)
+            row += [round(engine_time, 3), round(ratio, 2)]
         if "numpy" not in engines:
             row += ["-", "-"]
         rows.append(row)
     aggregates = {
-        engine: _geomean(values) for engine, values in speedups.items()
+        engine: _geomean(values) for engine, values in ratios.items()
     }
     return rows, aggregates
 
 
 def _e1_series():
-    """Legacy vs default-engine rows for the end-to-end solve."""
+    """Batched vs default-engine rows for the end-to-end solve."""
     rows = []
     ratios = []
     for family, size in E1_FAMILIES:
         graph = build_family(family, size, seed=2)
         tree = random_spanning_tree(graph, seed=2)
-        legacy_time, legacy_out = _timed_solve(_legacy_network, graph, tree)
+        base_time, base_out = _timed_solve(
+            lambda g: CongestNetwork(g, engine="batched"), graph, tree
+        )
         engine_time, engine_out = _timed_solve(CongestNetwork, graph, tree)
-        assert engine_out.best_value == legacy_out.best_value
+        assert engine_out.best_value == base_out.best_value
         assert (
             engine_out.metrics.measured_rounds
-            == legacy_out.metrics.measured_rounds
+            == base_out.metrics.measured_rounds
         )
         assert (
             engine_out.metrics.total_messages
-            == legacy_out.metrics.total_messages
+            == base_out.metrics.total_messages
         )
-        ratio = legacy_time / engine_time
+        ratio = base_time / engine_time
         ratios.append(ratio)
         rows.append(
             [
@@ -178,7 +176,7 @@ def _e1_series():
                 graph.number_of_nodes,
                 engine_out.metrics.measured_rounds,
                 engine_out.metrics.total_messages,
-                round(legacy_time, 3),
+                round(base_time, 3),
                 round(engine_time, 3),
                 round(ratio, 2),
             ]
@@ -202,18 +200,19 @@ def test_p1_engine_throughput(benchmark, record_table):
             "n",
             "rounds",
             "messages",
-            "legacy s",
             "batched s",
-            "batched x",
+            "per-msg s",
+            "per-msg x",
             "numpy s",
             "numpy x",
         ],
         stream_rows,
         title=(
-            "P1a — engine throughput, pipelined stream drain "
+            "P1a — engine parity, pipelined stream drain "
             f"(downcast of {STREAM_ITEMS} items x {STREAM_WIDTH} words)\n"
-            "delivery-bound workload; identical PhaseMetrics and node "
-            "memory asserted per row"
+            "delivery-bound workload, batched engine as baseline "
+            "(historical 5x-over-seed-loop table: PR 7, git history);\n"
+            "identical PhaseMetrics and node memory asserted per row"
         ),
     )
     e1_table = format_table(
@@ -222,39 +221,39 @@ def test_p1_engine_throughput(benchmark, record_table):
             "n",
             "rounds",
             "messages",
-            "legacy s",
+            "batched s",
             "default s",
-            "speedup",
+            "ratio",
         ],
         e1_rows,
         title=(
-            "P1b — end-to-end E1 solve (Theorem 2.1), legacy vs default "
-            f"engine ({resolve_engine()!r})\n"
+            "P1b — end-to-end E1 solve (Theorem 2.1), batched vs "
+            f"default engine ({resolve_engine()!r})\n"
             "callback-bound workload: ~2/3 of wall time is shared "
-            "protocol code, capping any engine's ratio (informational)"
+            "protocol code, so parity is expected (informational)"
         ),
     )
     aggregate_lines = "\n".join(
-        f"stream aggregate speedup ({engine}, geomean): {value:.2f}x"
+        f"stream aggregate ratio vs batched ({engine}, geomean): "
+        f"{value:.2f}x"
         for engine, value in stream_aggregates.items()
     )
     table = (
         f"{stream_table}\n\n{aggregate_lines}\n\n{e1_table}\n\n"
-        f"e1 aggregate speedup (default engine, geomean): {e1_aggregate:.2f}x"
+        f"e1 aggregate ratio (default vs batched, geomean): "
+        f"{e1_aggregate:.2f}x"
     )
     record_table("P1_engine_throughput", table)
 
     # Identity of results is asserted per row above and always enforced.
-    # Wall-clock floors are only meaningful on a quiet machine: skipped
+    # Wall-clock bands are only meaningful on a quiet machine: skipped
     # when benchmark timing is disabled (the CI smoke leg) and on shared
-    # CI runners.  The stream milestone is >=5x on the batched engine
-    # (see committed results for the measured margin); numpy carries a
-    # lower floor because tree streams have near-duplicate-free receiver
-    # sets, the case where its vectorized receiver reduction buys the
-    # least over the batched branch loop.
+    # CI runners.  All engines share the PR 3/7 delivery wins, so the
+    # gate is a parity band rather than a speedup floor: no engine may
+    # fall past PARITY_FLOOR of the batched baseline on a
+    # delivery-bound stream, and the default engine must hold parity on
+    # the end-to-end solve.
     if not benchmark.disabled and not os.environ.get("CI"):
-        assert stream_aggregates["batched"] >= 5.0
-        assert all(row[6] >= 3.0 for row in stream_rows)
-        if "numpy" in stream_aggregates:
-            assert stream_aggregates["numpy"] >= 3.0
-        assert e1_aggregate >= 1.2
+        for engine, value in stream_aggregates.items():
+            assert value >= PARITY_FLOOR, (engine, value)
+        assert e1_aggregate >= PARITY_FLOOR

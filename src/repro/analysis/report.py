@@ -34,6 +34,7 @@ EXPERIMENT_ORDER = [
     "P1_engine_throughput",
     "P2_index_baselines",
     "P4_dynamic_mutations",
+    "P5_scheduler_balance",
 ]
 
 HEADER = (

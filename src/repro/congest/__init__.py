@@ -6,7 +6,6 @@ word audit), persistent node memory across phases, and round/message
 metrics distinguishing *measured* from *charged* costs.
 """
 
-from .legacy import LegacyCongestNetwork
 from .message import Message, check_message_size, payload_words
 from .metrics import PhaseMetrics, RunMetrics
 from .network import (
@@ -28,7 +27,6 @@ __all__ = [
     "PhaseMetrics",
     "RunMetrics",
     "CongestNetwork",
-    "LegacyCongestNetwork",
     "PhaseResult",
     "DEFAULT_MAX_WORDS",
     "ENGINE_CHOICES",

@@ -28,14 +28,14 @@ The hot loop runs on the graph's cached
 :class:`~repro.graphs.index.GraphIndex` rather than on dicts keyed by
 ``(u, v)`` tuples: every directed edge has an integer id; its FIFO
 lives in a flat slot array, and the set of busy edges is an
-**activation-ordered list** of ids (exactly mirroring the old dict's
-insertion-order iteration, so delivery order — and therefore every
-protocol's output — is bit-identical to the legacy loop).
+**activation-ordered list** of ids (exactly mirroring the original
+dict's insertion-order iteration, so delivery order — and therefore
+every protocol's output — is bit-identical across engines).
 
 PR 7 turned the round loop into a **batched delivery engine** with three
 selectable implementations behind the unchanged :meth:`run_phase`
 contract (``CongestNetwork(engine=...)`` / ``$REPRO_CONGEST_ENGINE``,
-values ``auto``/``batched``/``numpy``):
+values ``auto``/``batched``/``numpy``/``per-message``):
 
 ``batched`` (pure Python, the no-dependency baseline)
     * all per-edge structures — FIFOs, bound ``popleft``/inbox-append
@@ -68,17 +68,21 @@ values ``auto``/``batched``/``numpy``):
     back to ``batched`` when numpy is not importable.
 
 ``per-message``
-    The PR 3 loop, retained for tracing: a :class:`MessageTracer` must
-    observe every hop in delivery order, so attaching one silently
-    selects this path whatever engine was requested (see
-    :attr:`CongestNetwork.active_engine`).
+    The PR 3 loop — one branch per message hop — kept as the semantic
+    oracle and the tracing path: a :class:`MessageTracer` must observe
+    every hop in delivery order, so attaching one silently selects this
+    path whatever engine was requested (see
+    :attr:`CongestNetwork.active_engine`); it is also explicitly
+    selectable via ``engine="per-message"``.
 
 All paths produce bit-identical delivery and activation order — the
 activation-ordered busy list, the ``set(first-touch receivers) | ticks``
 active-set construction, and FIFO order are preserved exactly, which
-``tests/test_congest_engine_equivalence.py`` asserts against the
-preserved legacy loop (:mod:`repro.congest.legacy`) for every protocol
-in the library, hypothesis-generated programs included.
+``tests/test_congest_engine_equivalence.py`` asserts with the
+per-message path as the oracle for every protocol in the library,
+hypothesis-generated programs included.  (The original PR 3
+standalone loop — ``repro.congest.legacy`` — was retired after two PRs
+of parity; the per-message engine shares its dispatch semantics.)
 
 The per-node programming API (:class:`~repro.congest.node.NodeContext`
 / :class:`~repro.congest.node.NodeProgram`) is unchanged; node programs
@@ -111,7 +115,7 @@ DEFAULT_MAX_WORDS = 8
 DEFAULT_ROUND_LIMIT = 2_000_000
 
 #: Valid values for ``CongestNetwork(engine=...)`` / $REPRO_CONGEST_ENGINE.
-ENGINE_CHOICES = ("auto", "batched", "numpy")
+ENGINE_CHOICES = ("auto", "batched", "numpy", "per-message")
 
 #: Environment knob holding the process-wide default engine.
 ENGINE_ENV_VAR = "REPRO_CONGEST_ENGINE"
@@ -149,7 +153,8 @@ def resolve_engine(requested: Optional[str] = None) -> str:
     ``auto``).  ``auto`` selects ``numpy`` when numpy is importable and
     ``batched`` otherwise; an explicit ``numpy`` request also degrades
     to ``batched`` on numpy-free installs — the fallback guarantee the
-    CI no-numpy leg pins down.  Unknown names raise
+    CI no-numpy leg pins down.  ``batched`` and ``per-message`` resolve
+    to themselves.  Unknown names raise
     :class:`~repro.errors.CongestError`.
     """
     name = requested if requested is not None else os.environ.get(ENGINE_ENV_VAR)
@@ -249,7 +254,8 @@ class CongestNetwork:
         engine to the per-message path whatever ``engine`` says.
     engine:
         Delivery engine: ``"auto"`` (default; numpy when available),
-        ``"batched"`` (pure Python), or ``"numpy"``.  ``None`` defers to
+        ``"batched"`` (pure Python), ``"numpy"``, or ``"per-message"``
+        (the unbatched oracle loop tracers use).  ``None`` defers to
         ``$REPRO_CONGEST_ENGINE``.  All engines are bit-identical in
         delivery order, metrics, and outputs — the knob only trades
         implementation.
@@ -579,15 +585,15 @@ class CongestNetwork:
                             t_append(box)
                         box.append(pops[e]())
                     frontier_valid = not tick_nodes
-                # Same construction as the legacy engine: a set built
-                # *from a dict* in first-touch order, then the tick
-                # union.  The dict detour is loadbearing — CPython
+                # Same construction as the per-message oracle: a set
+                # built *from a dict* in first-touch order, then the
+                # tick union.  The dict detour is loadbearing — CPython
                 # presizes a set built from a dict but grows one built
                 # from a list incrementally, and the two table layouts
                 # can iterate in different orders for the same elements.
-                # Legacy iterates ``set(inboxes_dict)``, so matching its
-                # dispatch order bit for bit requires the same
-                # construction, not merely the same element sequence.
+                # The oracle iterates a set built from a dict, so
+                # matching its dispatch order bit for bit requires the
+                # same construction, not merely the same elements.
                 if not tick_nodes and receiver_nodes == memo_receivers:
                     active = memo_active
                     active_rows = memo_rows
@@ -951,8 +957,9 @@ class CongestNetwork:
                     still_active.append(e)
             active_edges = still_active
             # 2. Computation for receivers and tick requesters.  The
-            # active set is built over *original* node ids, via the same
-            # set(first-touch) | set construction as the legacy engine.
+            # active set is built over *original* node ids, via the
+            # canonical set(first-touch) | ticks construction the
+            # batched/numpy engines reproduce bit for bit.
             active = set(dict.fromkeys(nodes[i] for i in receivers)) | tick_nodes
             tick_nodes = set()
             for u in active:

@@ -15,6 +15,15 @@ every sweep workload; this package is the layer that scales it:
   (``backend="remote"``), the sharded fan-out over a pool of
   ``repro serve`` workers (registered lazily; worker URLs via the
   constructor or ``$REPRO_REMOTE_WORKERS``).
+* :mod:`~repro.exec.plan` — :func:`pack_tasks`, the deterministic LPT
+  planner the ``process`` and ``remote`` backends share for cost-aware
+  chunk/shard packing (uniform costs degenerate to the historic
+  round-robin stripe).
+* :mod:`~repro.exec.calibrate` — the measured-cost loop:
+  :func:`run_calibration` fits each solver's hand cost model against
+  measured ``wall_time`` and persists a versioned :class:`CostProfile`
+  (``repro calibrate``), loadable via ``Engine(cost_profile=...)`` or
+  ``$REPRO_COST_PROFILE`` so packing happens in predicted wall seconds.
 * :mod:`~repro.exec.cache` — :class:`CacheKey` (graph content hash +
   solver knobs) and :class:`ResultCache`, an LRU with an optional
   versioned JSON persistence tier (mergeable via
@@ -43,22 +52,41 @@ from .backends import (
     resolve_backend,
 )
 from .cache import CACHE_SCHEMA_VERSION, CacheKey, ResultCache, load_cache_file
+from .calibrate import (
+    PROFILE_SCHEMA_VERSION,
+    REPRO_COST_PROFILE_ENV,
+    CostProfile,
+    DynamicCosts,
+    FittedModel,
+    resolve_cost_profile,
+    run_calibration,
+)
+from .plan import PackPlan, pack_tasks
 from .task import SolveTask, run_task, run_task_captured
 
 __all__ = [
     "BACKENDS",
     "CACHE_SCHEMA_VERSION",
     "CacheKey",
+    "CostProfile",
+    "DynamicCosts",
     "Executor",
+    "FittedModel",
+    "PROFILE_SCHEMA_VERSION",
+    "PackPlan",
     "ProcessExecutor",
     "REPRO_BACKEND_ENV",
+    "REPRO_COST_PROFILE_ENV",
     "ResultCache",
     "SerialExecutor",
     "SolveTask",
     "ThreadExecutor",
     "load_cache_file",
+    "pack_tasks",
     "register_backend",
     "resolve_backend",
+    "resolve_cost_profile",
+    "run_calibration",
     "run_task",
     "run_task_captured",
 ]

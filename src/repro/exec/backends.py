@@ -46,6 +46,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Optional, Sequence, Union
 
 from ..errors import AlgorithmError
+from .plan import pack_tasks
 from .task import SolveTask, run_task_captured
 
 #: Environment variable supplying the default backend name.
@@ -102,6 +103,21 @@ class Executor:
     """
 
     name = "base"
+
+    #: Optional ``cost_fn(task) -> float`` predicting each task's cost,
+    #: consumed by backends that pack work (``process`` chunks, ``remote``
+    #: shards) via :func:`repro.exec.plan.pack_tasks`.  ``None`` means
+    #: uniform costs (the historic stripe).  The engine assigns one built
+    #: from the registry's cost models — or a calibrated
+    #: :class:`~repro.exec.calibrate.CostProfile` — before dispatch,
+    #: unless the caller already set their own.
+    cost_fn = None
+
+    #: Diagnostic snapshot of the most recent packing decision (a
+    #: :meth:`repro.exec.plan.PackPlan.summary` dict, possibly extended
+    #: with actuals) — populated by packing backends after each
+    #: ``run_tasks``; ``None`` before the first dispatch.
+    last_plan = None
 
     def run_tasks(
         self,
@@ -168,6 +184,11 @@ class ThreadExecutor(Executor):
             )
 
 
+def _run_chunk(tasks: Sequence[SolveTask]) -> list:
+    """Worker-side runner for one packed chunk (module-level: pickles)."""
+    return [run_task_captured(task) for task in tasks]
+
+
 @register_backend("process")
 class ProcessExecutor(Executor):
     """Process-pool backend — real parallelism for sweep workloads.
@@ -175,6 +196,14 @@ class ProcessExecutor(Executor):
     Tasks must pickle (graphs with hashable, picklable nodes — true for
     everything the generators produce); workers resolve solvers through
     their own default registry, so custom registries are rejected.
+
+    Chunking is cost-aware: tasks are packed into up to ``4×workers``
+    chunks by :func:`~repro.exec.plan.pack_tasks` using the attached
+    :attr:`~Executor.cost_fn` (uniform costs — the historic striped
+    chunks — when none is set), and chunks are submitted heaviest first
+    so the predicted-longest work starts immediately.  Results are
+    reassembled by original task position, so the plan only changes
+    wall time, never output.
     """
 
     name = "process"
@@ -198,9 +227,27 @@ class ProcessExecutor(Executor):
         if not tasks:
             return []
         workers = max(1, min(len(tasks), self.max_workers))
-        chunksize = max(1, len(tasks) // (4 * workers))
+        chunk_count = min(len(tasks), 4 * workers)
+        pack = pack_tasks(tasks, chunk_count, self.cost_fn)
+        self.last_plan = pack.summary()
+        # Heaviest chunk first: the predicted-longest work starts
+        # immediately instead of queueing behind a wall of cheap chunks.
+        chunk_order = sorted(
+            range(chunk_count), key=lambda b: (-pack.loads[b], b)
+        )
+        outcomes: list = [None] * len(tasks)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_task_captured, tasks, chunksize=chunksize))
+            futures = {
+                b: pool.submit(
+                    _run_chunk, [tasks[i] for i in pack.assignments[b]]
+                )
+                for b in chunk_order
+                if pack.assignments[b]
+            }
+            for b, future in futures.items():
+                for i, outcome in zip(pack.assignments[b], future.result()):
+                    outcomes[i] = outcome
+        return outcomes
 
 
 @register_backend("remote")

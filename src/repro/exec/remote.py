@@ -7,11 +7,17 @@ workers (:mod:`repro.service`) instead of local threads or processes.
 The shape is exactly the seam PR 4 recorded — "a shard router is a
 ``ServiceClient`` pool behind the same dispatch contract":
 
-* **Sharding** — tasks are split round-robin by task index across the
-  worker pool (task ``i`` homes on worker ``i % W``), and the shards
-  are posted concurrently, one HTTP ``/solve_batch`` request per shard
+* **Sharding** — tasks are packed into one shard per worker by the
+  shared LPT planner (:func:`repro.exec.plan.pack_tasks`) using the
+  attached cost function, so predicted work — not task count — is what
+  balances; without a cost function the pack degenerates *exactly* to
+  the historic round-robin stripe (task ``i`` homes on worker
+  ``i % W``), selectable explicitly via ``plan="stripe"``.  Shards are
+  posted concurrently, one HTTP ``/solve_batch`` request per shard
   carrying the tasks' frozen per-task seeds and resolved solver names
-  (:meth:`repro.service.client.ServiceClient.solve_tasks`).
+  (:meth:`repro.service.client.ServiceClient.solve_tasks`); the
+  predicted-vs-actual makespan of every dispatch is recorded on
+  :attr:`RemoteExecutor.last_plan` so skew stays observable.
 * **Determinism** — because every task's seed and solver were frozen
   before dispatch, the workers run the identical
   :func:`repro.exec.task.run_task` path the serial backend runs, and
@@ -58,11 +64,13 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from ..errors import AlgorithmError, ServiceError
 from .backends import Executor
+from .plan import pack_tasks
 from .task import SolveTask
 
 #: Environment variable listing default worker base URLs (comma-separated).
@@ -92,9 +100,21 @@ class RemoteExecutor(Executor):
         sub-chunked to this size, keeping requests under the workers'
         ``--max-batch`` limit up front (over-limit requests still
         recover via the per-task fallback, just more slowly).
+    plan:
+        ``"cost"`` (default) packs shards by predicted cost via the
+        attached :attr:`~repro.exec.backends.Executor.cost_fn`;
+        ``"stripe"`` forces the historic uniform round-robin stripe
+        (also what ``"cost"`` degenerates to with no cost function).
+    cost_fn:
+        Optional explicit ``cost_fn(task) -> float``.  Normally left
+        unset: the engine attaches one (registry cost models, or a
+        calibrated :class:`~repro.exec.calibrate.CostProfile`) before
+        dispatch.
     """
 
     name = "remote"
+
+    _PLAN_MODES = ("cost", "stripe")
 
     def __init__(
         self,
@@ -102,12 +122,22 @@ class RemoteExecutor(Executor):
         *,
         timeout: float = 300.0,
         max_shard: Optional[int] = None,
+        plan: str = "cost",
+        cost_fn=None,
     ) -> None:
         if max_shard is not None and max_shard < 1:
             raise AlgorithmError(f"max_shard must be >= 1, got {max_shard}")
+        if plan not in self._PLAN_MODES:
+            raise AlgorithmError(
+                f"unknown shard plan {plan!r}; choose one of "
+                f"{', '.join(self._PLAN_MODES)}"
+            )
         self.workers = [str(url).rstrip("/") for url in workers] if workers else None
         self.timeout = float(timeout)
         self.max_shard = max_shard
+        self.plan = plan
+        self.cost_fn = cost_fn
+        self.last_plan: Optional[dict] = None
 
     # -- pool plumbing ---------------------------------------------------
 
@@ -143,26 +173,28 @@ class RemoteExecutor(Executor):
             return []
         clients = self._clients()
 
-        # Round-robin sharding by task index, then optional sub-chunking
-        # so one request never exceeds ``max_shard`` tasks.  Each shard
-        # keeps its *home* worker through the sub-chunking (chunks of
-        # worker w's stripe still home on w), preserving the "task i
-        # homes on worker i % W" contract — and with it the locality of
-        # each worker's ``--cache-file`` across warm re-runs.
+        # LPT packing: one bin per worker (bounded by the task count,
+        # matching the old "no empty stripes" shard count), balanced by
+        # the attached cost function.  With no cost function — or under
+        # ``plan="stripe"`` — the pack degenerates exactly to the old
+        # round-robin stripe (task i homes on worker i % W), preserving
+        # the locality of each worker's ``--cache-file`` across warm
+        # re-runs.  Optional sub-chunking keeps one request under
+        # ``max_shard`` tasks; chunks of worker w's bin still home on w.
+        bins = min(len(clients), len(tasks))
+        cost_fn = self.cost_fn if self.plan == "cost" else None
+        pack = pack_tasks(tasks, bins, cost_fn)
         shards: list[tuple[int, list[tuple[int, SolveTask]]]] = []
-        for home in range(min(len(clients), len(tasks))):
-            stripe = [
-                (i, task)
-                for i, task in enumerate(tasks)
-                if i % len(clients) == home
-            ]
+        for home, indices in enumerate(pack.assignments):
+            shard = [(i, tasks[i]) for i in indices]
             if self.max_shard is None:
-                shards.append((home, stripe))
+                shards.append((home, shard))
             else:
                 shards.extend(
-                    (home, stripe[lo: lo + self.max_shard])
-                    for lo in range(0, len(stripe), self.max_shard)
+                    (home, shard[lo: lo + self.max_shard])
+                    for lo in range(0, len(shard), self.max_shard)
                 )
+        shard_seconds = [0.0] * bins
 
         dead: set[int] = set()
         dead_lock = threading.Lock()
@@ -182,6 +214,15 @@ class RemoteExecutor(Executor):
                 ]
 
         def _run_shard(home: int, shard: list[tuple[int, SolveTask]]) -> None:
+            started = time.perf_counter()
+            try:
+                _run_shard_inner(home, shard)
+            finally:
+                shard_seconds[home] += time.perf_counter() - started
+
+        def _run_shard_inner(
+            home: int, shard: list[tuple[int, SolveTask]]
+        ) -> None:
             failures: list[str] = []
             for worker in _alive_order(home):
                 try:
@@ -223,6 +264,15 @@ class RemoteExecutor(Executor):
             for error in errors:
                 if error is not None:
                     raise error
+        # Predicted-vs-actual makespan snapshot — *diagnostic only*, so
+        # it lives on the executor rather than in CutResult extras
+        # (extras must stay bit-identical to a serial run).
+        summary = pack.summary()
+        summary["plan"] = "stripe" if cost_fn is None else "cost"
+        summary["workers"] = len(clients)
+        summary["actual_loads"] = [round(s, 6) for s in shard_seconds]
+        summary["actual_makespan"] = round(max(shard_seconds), 6)
+        self.last_plan = summary
         return outcomes
 
     def _shard_on_worker(self, client, shard, outcomes) -> None:

@@ -93,6 +93,10 @@ class ServiceConfig:
     answers 429 until a session is closed.  ``backend`` is the default
     execution backend for ``/solve_batch`` when the request does not
     name one (``None`` defers to ``$REPRO_BACKEND`` / serial).
+    ``cost_profile`` is a path to a calibrated
+    :class:`~repro.exec.calibrate.CostProfile` for the server engine
+    (cost-aware chunk packing, seconds-denominated budgets; ``None``
+    defers to ``$REPRO_COST_PROFILE``).
     """
 
     max_nodes: Optional[int] = 4096
@@ -100,6 +104,7 @@ class ServiceConfig:
     max_body_bytes: Optional[int] = 32 * 1024 * 1024
     max_sessions: Optional[int] = 32
     backend: Optional[str] = None
+    cost_profile: Optional[str] = None
 
 
 class ReproService:
@@ -123,6 +128,7 @@ class ReproService:
             registry=registry,
             cache=cache if cache is not None else ResultCache(),
             backend=self.config.backend,
+            cost_profile=self.config.cost_profile,
         )
         self.warm_start_adopted = (
             self.engine.warm_start(*warm_start) if warm_start else 0

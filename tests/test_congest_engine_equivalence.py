@@ -1,20 +1,20 @@
-"""Engine equivalence: every delivery engine reproduces the legacy loop.
+"""Engine equivalence: batched/numpy delivery reproduces the oracle.
 
 PR 3 rewrote :meth:`CongestNetwork.run_phase` on flat arrays indexed by
 directed-edge id; PR 7 split delivery into three selectable engines
-(per-message, batched, numpy) behind ``CongestNetwork(engine=...)``,
-with the original dict-based loop surviving as
-:class:`~repro.congest.legacy.LegacyCongestNetwork` — the oracle here.
-These tests run representative protocols — BFS, convergecast, pipelined
-keyed sums, gossip, Borůvka MST, and the full 1-respecting min-cut
-sweep — on every engine and assert **identical**
-:class:`PhaseMetrics` (rounds, messages, words, max backlog),
-bit-identical node outputs, and bit-identical persistent memory, seed
-for seed.  Each engine's delivery order mirrors the legacy dict's
-insertion-order iteration by construction (down to building the active
-set from a dict, whose CPython table layout differs from a set built
-off a list), so even float accumulations and arrival orders agree to
-the last bit.
+(per-message, batched, numpy) behind ``CongestNetwork(engine=...)``.
+The **per-message** path — one dispatch branch per hop, the loop
+tracers pin — is the semantic oracle here (the retired standalone
+legacy loop shared its dispatch semantics bit for bit).  These tests
+run representative protocols — BFS, convergecast, pipelined keyed
+sums, gossip, Borůvka MST, and the full 1-respecting min-cut sweep —
+on every engine and assert **identical** :class:`PhaseMetrics`
+(rounds, messages, words, max backlog), bit-identical node outputs,
+and bit-identical persistent memory, seed for seed.  Each engine's
+delivery order mirrors the oracle's insertion-order iteration by
+construction (down to building the active set from a dict, whose
+CPython table layout differs from a set built off a list), so even
+float accumulations and arrival orders agree to the last bit.
 
 A hypothesis-driven generator closes the gap between the fixed protocol
 matrix and the space of schedules: random programs draw their sends
@@ -24,7 +24,6 @@ memory comparison.
 """
 
 import random
-import warnings
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -32,10 +31,10 @@ from hypothesis import strategies as st
 
 from repro.congest import (
     CongestNetwork,
-    LegacyCongestNetwork,
     NodeProgram,
     numpy_available,
 )
+from repro.errors import CongestError
 from repro.core import one_respecting_min_cut_congest
 from repro.graphs import (
     build_family,
@@ -53,16 +52,10 @@ from repro.primitives import (
 )
 
 
-def _legacy(graph):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return LegacyCongestNetwork(graph)
-
-
 def _engine_factories():
-    """(name, factory) per engine; the legacy oracle is always first."""
+    """(name, factory) per engine; the per-message oracle is always first."""
     factories = [
-        ("legacy", _legacy),
+        ("per-message", lambda g: CongestNetwork(g, engine="per-message")),
         ("batched", lambda g: CongestNetwork(g, engine="batched")),
     ]
     if numpy_available():
@@ -104,13 +97,13 @@ def _run_on_all(graph, driver):
 
 
 def _assert_networks_identical(nets):
-    legacy = nets[0]
+    oracle = nets[0]
     for net, engine_name in zip(nets[1:], ENGINE_NAMES[1:]):
-        assert _phase_tuples(net) == _phase_tuples(legacy), engine_name
-        assert net.metrics.charged_rounds == legacy.metrics.charged_rounds
-        assert tuple(net.nodes) == tuple(legacy.nodes)
-        for u in legacy.nodes:
-            assert net.memory[u] == legacy.memory[u], (
+        assert _phase_tuples(net) == _phase_tuples(oracle), engine_name
+        assert net.metrics.charged_rounds == oracle.metrics.charged_rounds
+        assert tuple(net.nodes) == tuple(oracle.nodes)
+        for u in oracle.nodes:
+            assert net.memory[u] == oracle.memory[u], (
                 f"{engine_name} memory differs at {u!r}"
             )
 
@@ -271,7 +264,12 @@ def test_random_program_equivalence(seed, graph_case):
     _assert_all_equal([r.outputs for r in results], "outputs")
 
 
-def test_legacy_network_emits_deprecation_warning():
-    graph = grid_graph(3, 3)
-    with pytest.warns(DeprecationWarning, match="LegacyCongestNetwork"):
-        LegacyCongestNetwork(graph)
+def test_per_message_engine_explicitly_selectable():
+    """The oracle path is a first-class engine choice, not tracer-only."""
+    net = CongestNetwork(grid_graph(3, 3), engine="per-message")
+    assert net.active_engine == "per-message"
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(CongestError, match="unknown congest engine"):
+        CongestNetwork(grid_graph(3, 3), engine="dict-loop")

@@ -1,12 +1,9 @@
 """Tests for the message tracer and its engine hook."""
 
-import warnings
-
 import pytest
 
 from repro.congest import (
     CongestNetwork,
-    LegacyCongestNetwork,
     MessageTracer,
     kind_filter,
     node_filter,
@@ -106,7 +103,7 @@ class TestEngineInteraction:
         assert net.active_engine == "batched"
 
     @pytest.mark.parametrize("engine", ["batched", "numpy"])
-    def test_traced_events_identical_to_legacy(self, engine):
+    def test_traced_events_identical_to_oracle(self, engine):
         if engine == "numpy" and not numpy_available():
             pytest.skip("numpy not installed")
         graph = build_family("gnp", 36, seed=3)
@@ -118,16 +115,16 @@ class TestEngineInteraction:
                 for e in tracer.events
             ]
 
-        legacy_tracer = MessageTracer()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy_net = LegacyCongestNetwork(graph, tracer=legacy_tracer)
-        legacy_events = events(legacy_net, legacy_tracer)
+        oracle_tracer = MessageTracer()
+        oracle_net = CongestNetwork(
+            graph, tracer=oracle_tracer, engine="per-message"
+        )
+        oracle_events = events(oracle_net, oracle_tracer)
 
         tracer = MessageTracer()
         net = CongestNetwork(graph, tracer=tracer, engine=engine)
         assert net.active_engine == "per-message"
-        assert events(net, tracer) == legacy_events
+        assert events(net, tracer) == oracle_events
 
 
 class TestRendering:

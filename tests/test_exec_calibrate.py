@@ -1,0 +1,316 @@
+"""Calibrated cost models: fitting, persistence, and engine wiring.
+
+Covers the three planes ``repro calibrate`` feeds:
+
+* the **artifact** — versioned JSON round-trip, strict loader,
+  ``$REPRO_COST_PROFILE`` resolution;
+* the **fit** — on a real measured grid the fitted model's RMS
+  relative wall-time error never exceeds the scaled hand-fit baseline
+  (the basis contains the hand model, so least squares can only
+  improve on it), and staleness is detected when the registered hand
+  model changes after calibration;
+* the **consumers** — ``select_auto(budget=)`` in predicted wall
+  seconds, `Engine.task_cost_fn` for the LPT planner, and the
+  calibrated ``patch_budget`` seeding of dynamic sessions (the
+  threshold must *move* when the measured costs move).
+"""
+
+import json
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import SolverRegistry, default_registry
+from repro.errors import AlgorithmError
+from repro.exec import (
+    REPRO_COST_PROFILE_ENV,
+    CostProfile,
+    DynamicCosts,
+    FittedModel,
+    pack_tasks,
+    resolve_cost_profile,
+    run_calibration,
+)
+from repro.exec.calibrate import PROFILE_SCHEMA_VERSION, REFERENCE_POINT
+from repro.graphs import build_family
+
+
+def _model(
+    solver="stoer_wagner",
+    terms=("1", "n", "m"),
+    coefficients=(0.001, 1e-5, 2e-5),
+    hand_scale=1e-6,
+    hand_cost_ref=None,
+):
+    return FittedModel(
+        solver=solver,
+        terms=terms,
+        coefficients=coefficients,
+        r2=0.99,
+        rel_error=0.05,
+        hand_rel_error=0.20,
+        hand_scale=hand_scale,
+        hand_cost_ref=hand_cost_ref,
+        samples=8,
+    )
+
+
+def _profile(**kwargs):
+    defaults = dict(
+        models={"stoer_wagner": _model()},
+        dynamic=DynamicCosts(
+            patch_slot_seconds=1e-7, rebuild_edge_seconds=1e-6, samples=48
+        ),
+        grid={"families": ["gnp"], "sizes": [12, 16], "seed": 0, "repeats": 1},
+    )
+    defaults.update(kwargs)
+    return CostProfile(**defaults)
+
+
+class TestArtifact:
+    def test_round_trip(self, tmp_path):
+        path = _profile().save(tmp_path / "profile.json")
+        loaded = CostProfile.load(path)
+        assert loaded.to_payload() == _profile().to_payload()
+        assert loaded.models["stoer_wagner"].predict(50, 120) == pytest.approx(
+            _profile().models["stoer_wagner"].predict(50, 120)
+        )
+
+    def test_payload_is_versioned_and_discriminated(self):
+        payload = _profile().to_payload()
+        assert payload["schema"] == PROFILE_SCHEMA_VERSION
+        assert payload["kind"] == "repro-cost-profile"
+
+    def test_loader_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AlgorithmError, match="not valid JSON"):
+            CostProfile.load(path)
+
+    def test_loader_rejects_missing_file(self, tmp_path):
+        with pytest.raises(AlgorithmError, match="cannot read"):
+            CostProfile.load(tmp_path / "absent.json")
+
+    def test_loader_rejects_foreign_kind(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema": 2, "entries": {}}))
+        with pytest.raises(AlgorithmError, match="kind"):
+            CostProfile.load(path)
+
+    def test_loader_rejects_newer_schema(self, tmp_path):
+        payload = _profile().to_payload()
+        payload["schema"] = PROFILE_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(AlgorithmError, match="schema"):
+            CostProfile.load(path)
+
+    def test_loader_rejects_malformed_entry(self, tmp_path):
+        payload = _profile().to_payload()
+        del payload["solvers"]["stoer_wagner"]["coefficients"]
+        path = tmp_path / "malformed.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(AlgorithmError, match="malformed"):
+            CostProfile.load(path)
+
+    def test_resolve_passthrough_path_and_env(self, tmp_path, monkeypatch):
+        profile = _profile()
+        assert resolve_cost_profile(profile) is profile
+        path = profile.save(tmp_path / "p.json")
+        assert resolve_cost_profile(path).to_payload() == profile.to_payload()
+        monkeypatch.delenv(REPRO_COST_PROFILE_ENV, raising=False)
+        assert resolve_cost_profile(None) is None
+        monkeypatch.setenv(REPRO_COST_PROFILE_ENV, str(path))
+        assert resolve_cost_profile(None).to_payload() == profile.to_payload()
+
+    def test_env_pointing_at_garbage_fails_loudly(self, tmp_path, monkeypatch):
+        path = tmp_path / "garbage.json"
+        path.write_text("[]")
+        monkeypatch.setenv(REPRO_COST_PROFILE_ENV, str(path))
+        with pytest.raises(AlgorithmError):
+            resolve_cost_profile(None)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """One real (tiny) calibration shared by the fit-quality tests."""
+    return run_calibration(
+        solvers=["stoer_wagner", "matula"],
+        families=("gnp",),
+        sizes=(10, 14, 18, 22, 26),
+        repeats=1,
+        include_dynamic=True,
+    )
+
+
+class TestFitQuality:
+    def test_fitted_never_worse_than_scaled_hand_model(self, measured):
+        for name, model in measured.profile.models.items():
+            assert model.hand_rel_error is not None, name
+            assert model.rel_error <= model.hand_rel_error + 1e-12, name
+
+    def test_samples_and_grid_recorded(self, measured):
+        assert {s.solver for s in measured.samples} == {
+            "stoer_wagner",
+            "matula",
+        }
+        assert all(s.seconds > 0 for s in measured.samples)
+        assert measured.profile.grid["families"] == ["gnp"]
+        assert measured.profile.models["stoer_wagner"].samples == 5
+
+    def test_predictions_positive_and_round_trippable(self, measured, tmp_path):
+        registry = default_registry()
+        spec = registry.get("stoer_wagner")
+        predicted = measured.profile.predict_seconds(spec, 100, 300)
+        assert predicted is not None and predicted > 0
+        reloaded = CostProfile.load(measured.profile.save(tmp_path / "m.json"))
+        assert reloaded.predict_seconds(spec, 100, 300) == pytest.approx(
+            predicted
+        )
+
+    def test_uncalibrated_solver_falls_back_to_unit_scale(self, measured):
+        registry = default_registry()
+        spec = registry.get("karger")  # not in the calibrated set
+        assert measured.profile.status(spec) == "missing"
+        predicted = measured.profile.predict_seconds(spec, 100, 300)
+        scale = measured.profile.unit_scale
+        assert scale is not None and scale > 0
+        assert predicted == pytest.approx(spec.cost_model(100, 300) * scale)
+
+    def test_dynamic_costs_measured(self, measured):
+        dynamic = measured.profile.dynamic
+        assert dynamic is not None
+        assert dynamic.patch_slot_seconds > 0
+        assert dynamic.rebuild_edge_seconds > 0
+
+    def test_status_fitted_and_stale(self, measured):
+        registry = default_registry()
+        spec = registry.get("stoer_wagner")
+        assert measured.profile.status(spec) == "fitted"
+        model = measured.profile.models["stoer_wagner"]
+        skewed = CostProfile(
+            models={
+                "stoer_wagner": FittedModel(
+                    solver="stoer_wagner",
+                    terms=model.terms,
+                    coefficients=model.coefficients,
+                    r2=model.r2,
+                    rel_error=model.rel_error,
+                    hand_rel_error=model.hand_rel_error,
+                    hand_scale=model.hand_scale,
+                    hand_cost_ref=(model.hand_cost_ref or 1.0) * 3.0,
+                    samples=model.samples,
+                )
+            }
+        )
+        assert skewed.status(spec) == "stale"
+
+
+class TestConsumers:
+    def _registry_with_costs(self):
+        registry = SolverRegistry()
+
+        @registry.register(
+            "cheap",
+            kind="exact",
+            guarantee="exact",
+            cost_model=lambda n, m: 10.0 * m,
+        )
+        def _cheap(graph, **kw):  # pragma: no cover - never run
+            raise AssertionError
+
+        @registry.register(
+            "pricy",
+            kind="exact",
+            guarantee="exact",
+            priority=1,
+            cost_model=lambda n, m: 1000.0 * m,
+        )
+        def _pricy(graph, **kw):  # pragma: no cover - never run
+            raise AssertionError
+
+        return registry
+
+    def test_select_auto_budget_in_seconds_via_cost_fn(self):
+        registry = self._registry_with_costs()
+        graph = build_family("gnp", 12, seed=0)
+        seconds = {"cheap": 0.5, "pricy": 30.0}
+        cost_fn = lambda spec: seconds[spec.name]  # noqa: E731
+        # Without the cost_fn the priority tie-break prefers "pricy".
+        assert registry.select_auto(graph).name == "pricy"
+        # A 1-second wall-time budget rules "pricy" out.
+        picked = registry.select_auto(graph, budget=1.0, cost_fn=cost_fn)
+        assert picked.name == "cheap"
+        # Everything over budget: degrade to the cheapest, not refuse.
+        picked = registry.select_auto(graph, budget=0.1, cost_fn=cost_fn)
+        assert picked.name == "cheap"
+
+    def test_engine_task_cost_fn_uses_profile_seconds(self, measured):
+        engine = Engine(cost_profile=measured.profile)
+        graph = build_family("gnp", 12, seed=1)
+        tasks = engine.build_batch_tasks([graph], solver="stoer_wagner")
+        cost = engine.task_cost_fn()
+        spec = engine.registry.get("stoer_wagner")
+        expected = measured.profile.predict_seconds(
+            spec, graph.number_of_nodes, graph.number_of_edges
+        )
+        assert cost(tasks[0]) == pytest.approx(expected)
+        # The planner accepts the engine cost function as-is.
+        plan = pack_tasks(tasks, 2, cost)
+        assert sorted(i for ix in plan.assignments for i in ix) == [0]
+
+    def test_engine_without_profile_packs_in_cost_units(self):
+        engine = Engine()
+        graph = build_family("gnp", 12, seed=1)
+        tasks = engine.build_batch_tasks([graph], solver="karger")
+        cost = engine.task_cost_fn()
+        spec = engine.registry.get("karger")
+        assert cost(tasks[0]) == pytest.approx(
+            spec.cost_model(graph.number_of_nodes, graph.number_of_edges)
+        )
+
+    def test_engine_resolves_profile_from_env(self, tmp_path, monkeypatch):
+        path = _profile().save(tmp_path / "env.json")
+        monkeypatch.setenv(REPRO_COST_PROFILE_ENV, str(path))
+        engine = Engine()
+        assert engine.cost_profile is not None
+        assert "stoer_wagner" in engine.cost_profile.models
+
+    def test_patch_budget_moves_with_the_profile(self):
+        graph = build_family("gnp", 24, seed=3)
+        edges = graph.index().directed_edge_count
+
+        def session_with(patch_slot, rebuild_edge):
+            profile = _profile(
+                dynamic=DynamicCosts(
+                    patch_slot_seconds=patch_slot,
+                    rebuild_edge_seconds=rebuild_edge,
+                    samples=8,
+                )
+            )
+            return Engine(cost_profile=profile).dynamic_session(graph)
+
+        cheap_patches = session_with(1e-8, 1e-6)
+        pricy_patches = session_with(1e-6, 1e-6)
+        assert cheap_patches.indexer.patch_budget == edges * 100
+        assert pricy_patches.indexer.patch_budget == edges
+        assert (
+            cheap_patches.indexer.patch_budget
+            > pricy_patches.indexer.patch_budget
+        )
+
+    def test_explicit_patch_budget_wins_over_profile(self):
+        graph = build_family("gnp", 16, seed=3)
+        engine = Engine(cost_profile=_profile())
+        session = engine.dynamic_session(graph, patch_budget=7)
+        assert session.indexer.patch_budget == 7
+
+    def test_no_profile_leaves_patch_budget_default(self):
+        graph = build_family("gnp", 16, seed=3)
+        session = Engine().dynamic_session(graph)
+        assert session.indexer.patch_budget is None
+
+    def test_reference_point_matches_solvers_table(self):
+        # The staleness check and the CLI cost column sample the same
+        # instance; drift between them would make "stale" meaningless.
+        assert REFERENCE_POINT == (100, 300)

@@ -1,0 +1,124 @@
+"""The LPT pack planner: determinism, stripe degeneration, LPT bound.
+
+:func:`repro.exec.pack_tasks` sits under every distributing backend
+(remote shards, process chunks), so its invariants carry the
+bit-identity story of those backends: the plan must be a deterministic
+pure function of (costs, bins), must cover every task exactly once,
+and with uniform costs must reproduce the historic round-robin stripe
+exactly.  The classic LPT guarantee — makespan at most twice the
+trivial lower bound ``max(total/bins, max_cost)`` — is checked
+property-style over random cost vectors.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError
+from repro.exec import PackPlan, pack_tasks
+
+
+def _flatten(plan: PackPlan) -> list[int]:
+    return sorted(i for indices in plan.assignments for i in indices)
+
+
+class TestStripeDegeneration:
+    @pytest.mark.parametrize("count,bins", [(10, 3), (7, 7), (4, 9), (1, 1)])
+    def test_uniform_costs_reproduce_round_robin(self, count, bins):
+        plan = pack_tasks(list(range(count)), bins)
+        expected = tuple(
+            tuple(i for i in range(count) if i % bins == b)
+            for b in range(bins)
+        )
+        assert plan.assignments == expected
+
+    def test_constant_cost_fn_matches_no_cost_fn(self):
+        tasks = list(range(9))
+        assert (
+            pack_tasks(tasks, 4, lambda t: 3.5).assignments
+            == pack_tasks(tasks, 4).assignments
+        )
+
+
+class TestPlanInvariants:
+    def test_zero_bins_rejected(self):
+        with pytest.raises(AlgorithmError, match="at least 1 bin"):
+            pack_tasks([1, 2], 0)
+
+    def test_empty_tasks(self):
+        plan = pack_tasks([], 3)
+        assert plan.assignments == ((), (), ())
+        assert plan.makespan == 0.0
+        assert plan.balance == 1.0
+
+    def test_costs_follow_task_order_not_plan_order(self):
+        tasks = ["a", "b", "c"]
+        plan = pack_tasks(tasks, 2, lambda t: {"a": 1, "b": 5, "c": 2}[t])
+        assert plan.costs == (1.0, 5.0, 2.0)
+
+    def test_bin_indices_ascending(self):
+        plan = pack_tasks(list(range(12)), 3, lambda t: float(t % 5))
+        for indices in plan.assignments:
+            assert list(indices) == sorted(indices)
+
+    def test_broken_predictions_clamped(self):
+        bad = {0: float("nan"), 1: float("inf"), 2: -4.0, 3: 2.0}
+        plan = pack_tasks(list(range(4)), 2, lambda t: bad[t])
+        assert plan.costs == (0.0, 0.0, 0.0, 2.0)
+        assert _flatten(plan) == [0, 1, 2, 3]
+
+    def test_heavy_head_is_isolated(self):
+        # One brute-force-shaped task among cheap ones: LPT gives it a
+        # bin of its own, the stripe would pair it with every 4th task.
+        costs = [100.0] + [1.0] * 7
+        plan = pack_tasks(list(range(8)), 4, lambda t: costs[t])
+        heavy_bin = plan.assignments[0]
+        assert heavy_bin == (0,)
+        assert plan.makespan == 100.0
+        stripe = pack_tasks(list(range(8)), 4)
+        stripe_makespan = max(
+            sum(costs[i] for i in indices) for indices in stripe.assignments
+        )
+        assert stripe_makespan == 101.0  # tasks 0 and 4 collide
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        summary = pack_tasks(list(range(5)), 2, float).summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["bins"] == 2
+        assert summary["tasks"] == 5
+        assert sum(summary["sizes"]) == 5
+
+
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    bins=st.integers(min_value=1, max_value=12),
+)
+def test_lpt_properties(costs, bins):
+    tasks = list(range(len(costs)))
+    plan = pack_tasks(tasks, bins, lambda t: costs[t])
+
+    # Exact cover, deterministic replan.
+    assert _flatten(plan) == tasks
+    replay = pack_tasks(tasks, bins, lambda t: costs[t])
+    assert replay == plan
+
+    # Loads are consistent with the assignment.
+    for b, indices in enumerate(plan.assignments):
+        assert math.isclose(
+            plan.loads[b], sum(costs[i] for i in indices), abs_tol=1e-6
+        )
+
+    # The LPT guarantee: makespan <= 2x the trivial lower bound.
+    if sum(costs) > 0:
+        assert plan.makespan <= 2.0 * plan.lower_bound + 1e-9
+        assert plan.balance <= 2.0 + 1e-9
+    else:
+        assert plan.makespan == 0.0

@@ -193,6 +193,89 @@ class TestRemoteFailover:
             )
 
 
+class TestCostPlanning:
+    """Cost-packed shards stay bit-identical to striped and serial runs."""
+
+    def _skewed_graphs(self):
+        # Mixed sizes give strongly skewed per-task costs under the
+        # registry's hand-fit models (cost ~ poly(n, m)).
+        return [
+            build_family("gnp", 24 if i % 3 == 0 else 10, seed=i)
+            for i in range(7)
+        ]
+
+    def test_cost_and_stripe_plans_identical_to_serial(self, workers):
+        urls, _ = workers
+        graphs = self._skewed_graphs()
+        serial = solve_batch(graphs, "stoer_wagner")
+        cost_exec = RemoteExecutor(urls, plan="cost")
+        stripe_exec = RemoteExecutor(urls, plan="stripe")
+        assert _identity(
+            solve_batch(graphs, "stoer_wagner", backend=cost_exec)
+        ) == _identity(serial)
+        assert _identity(
+            solve_batch(graphs, "stoer_wagner", backend=stripe_exec)
+        ) == _identity(serial)
+        assert cost_exec.last_plan["plan"] == "cost"
+        assert stripe_exec.last_plan["plan"] == "stripe"
+        # The engine attached its registry cost function, so the cost
+        # plan saw non-uniform predictions and isolated the heavy tasks.
+        assert len(set(cost_exec.last_plan["loads"])) > 1
+
+    def test_last_plan_records_prediction_and_actuals(self, workers):
+        urls, _ = workers
+        graphs = self._skewed_graphs()
+        executor = RemoteExecutor(urls)
+        solve_batch(graphs, "stoer_wagner", backend=executor)
+        plan = executor.last_plan
+        assert plan["tasks"] == len(graphs)
+        assert plan["bins"] == len(plan["actual_loads"]) == 2
+        assert sum(plan["sizes"]) == len(graphs)
+        assert plan["workers"] == 2
+        assert plan["makespan"] >= plan["lower_bound"] > 0
+        assert plan["actual_makespan"] >= max(plan["actual_loads"]) - 1e-9
+
+    def test_cost_plan_survives_worker_kill(self, workers):
+        urls, servers = workers
+        graphs = self._skewed_graphs()
+        serial = solve_batch(graphs, "stoer_wagner")
+        servers[0].shutdown()
+        servers[0].server_close()
+        executor = RemoteExecutor(urls, plan="cost")
+        remote = solve_batch(graphs, "stoer_wagner", backend=executor)
+        assert _identity(remote) == _identity(serial)
+
+    def test_unknown_plan_mode_rejected(self):
+        with pytest.raises(AlgorithmError, match="unknown shard plan"):
+            RemoteExecutor(["http://127.0.0.1:9"], plan="greedy")
+
+    def test_explicit_cost_fn_wins_over_engine(self, workers):
+        urls, _ = workers
+        graphs = self._skewed_graphs()
+        serial = solve_batch(graphs, "stoer_wagner")
+        executor = RemoteExecutor(urls, cost_fn=lambda task: 1.0)
+        remote = solve_batch(graphs, "stoer_wagner", backend=executor)
+        assert _identity(remote) == _identity(serial)
+        # The explicit uniform cost function won over the engine's
+        # skewed registry predictions: every task cost exactly 1.0 and
+        # the layout degenerated to the 4/3 stripe.
+        assert executor.last_plan["plan"] == "cost"
+        assert sorted(executor.last_plan["loads"], reverse=True) == [4.0, 3.0]
+
+    def test_process_backend_packs_chunks_by_cost(self):
+        from repro.exec.backends import ProcessExecutor
+
+        graphs = self._skewed_graphs()
+        serial = solve_batch(graphs, "stoer_wagner")
+        executor = ProcessExecutor(max_workers=2)
+        packed = solve_batch(graphs, "stoer_wagner", backend=executor)
+        assert _identity(packed) == _identity(serial)
+        plan = executor.last_plan
+        assert plan is not None
+        assert sum(plan["sizes"]) == len(graphs)
+        assert len(set(plan["loads"])) > 1  # engine cost fn was attached
+
+
 class TestRemoteFallbacks:
     def test_shard_over_max_batch_recovers_per_task(self):
         # A worker with --max-batch 1 rejects every multi-task shard
