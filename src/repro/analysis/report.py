@@ -33,6 +33,7 @@ EXPERIMENT_ORDER = [
     "A4_certified_bounds",
     "P1_engine_throughput",
     "P2_index_baselines",
+    "P3_service_latency",
     "P4_dynamic_mutations",
     "P5_scheduler_balance",
 ]

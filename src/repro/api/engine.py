@@ -138,6 +138,60 @@ class Engine:
             f"solver={self.solver!r}, solvers={len(self.registry)})"
         )
 
+    @classmethod
+    def from_config(
+        cls,
+        config=None,
+        *,
+        registry: Optional[SolverRegistry] = None,
+    ) -> "Engine":
+        """Build an engine from the typed config schema.
+
+        ``config`` may be a :class:`~repro.config.ReproConfig`, a bare
+        :class:`~repro.config.EngineConfig`, a config-file path, or
+        ``None`` (load via ``$REPRO_CONFIG``/defaults — the usual entry
+        from ``repro --config``).  A full ``ReproConfig`` whose engine
+        backend is ``"remote"`` and whose ``[remote]`` section supplies
+        workers or a manager gets a ready
+        :class:`~repro.exec.remote.RemoteExecutor` attached, so
+        ``Engine.from_config("repro.toml")`` is a complete shard router
+        when the file says so.
+        """
+        from ..config import ReproConfig, load_config
+
+        if config is None or isinstance(config, (str, Path)):
+            config = load_config(config)
+        remote_cfg = None
+        if isinstance(config, ReproConfig):
+            remote_cfg = config.remote
+            config = config.engine
+        backend: Backend = config.backend
+        if (
+            backend == "remote"
+            and remote_cfg is not None
+            and (remote_cfg.workers or remote_cfg.manager)
+        ):
+            from ..exec.remote import RemoteExecutor
+
+            backend = RemoteExecutor.from_config(remote_cfg)
+        if config.cache is True:
+            cache: Union[ResultCache, str, None] = ResultCache()
+        elif config.cache is False or config.cache is None:
+            cache = None
+        else:
+            cache = config.cache  # a path string -> persistent cache
+        return cls(
+            registry=registry,
+            backend=backend,
+            cache=cache,
+            solver=config.solver,
+            epsilon=config.epsilon,
+            mode=config.mode,
+            seed=config.seed,
+            budget=config.budget,
+            cost_profile=config.cost_profile,
+        )
+
     # -- configuration resolution ---------------------------------------
 
     def _pick(self, value, default):

@@ -30,6 +30,9 @@ Commands
                their cost models against wall time, and write a
                versioned ``CostProfile`` artifact for
                ``--cost-profile`` / ``$REPRO_COST_PROFILE``.
+``config``     show the effective configuration (defaults + config
+               file + environment) as JSON — the debugging tool for
+               the precedence chain.
 
 All algorithm dispatch goes through :mod:`repro.api` — the commands
 iterate the solver registry instead of hard-coding algorithm lists, so
@@ -39,6 +42,12 @@ additionally expose the execution engine (:mod:`repro.exec`): pick a
 backend with ``--backend serial|thread|process`` (default from
 ``$REPRO_BACKEND``) and enable result caching with ``--cache`` /
 ``--cache-file``.
+
+Configuration follows one precedence rule everywhere
+(:mod:`repro.config`): **CLI flag > environment > config file >
+default**.  ``repro --config repro.toml <command>`` (or
+``$REPRO_CONFIG``) loads ``[engine]``/``[serve]``/``[remote]``
+sections; any flag you pass on top still wins.
 
 Examples
 --------
@@ -57,8 +66,10 @@ Examples
     python -m repro client solve --url http://127.0.0.1:8137 --family gnp --n 48
     python -m repro cache merge --out warm.json w1_cache.json w2_cache.json
     python -m repro serve --port 8137 --warm-start warm.json
-    REPRO_REMOTE_WORKERS=http://127.0.0.1:8101,http://127.0.0.1:8102 \\
-        python -m repro sweep --family gnp --n 64 --count 16 --backend remote
+    python -m repro serve --port 8101 --register http://127.0.0.1:8100
+    python -m repro --config repro.toml sweep --family gnp --n 64 \\
+        --count 16 --backend remote
+    python -m repro --config repro.toml config show
 """
 
 from __future__ import annotations
@@ -78,6 +89,7 @@ from .errors import ReproError
 from .exec import (
     BACKENDS,
     CostProfile,
+    Executor,
     ResultCache,
     load_cache_file,
     resolve_backend,
@@ -155,12 +167,30 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
-    if args.cache_file:
-        return ResultCache(path=args.cache_file)
-    if args.cache:
-        return ResultCache()
-    return None
+def _build_engine(args: argparse.Namespace) -> Engine:
+    """One :class:`Engine` from the precedence chain.
+
+    :func:`repro.config.load_config` supplies the file + environment
+    layers (``--config`` / ``$REPRO_CONFIG``, ``$REPRO_BACKEND``,
+    ``$REPRO_COST_PROFILE``); the execution flags are overlaid on top,
+    so a flag the user typed always beats the file and the env.  With
+    ``backend = "remote"`` and a ``[remote]`` section naming workers or
+    a manager, the engine comes back with a ready
+    :class:`~repro.exec.remote.RemoteExecutor` attached.
+    """
+    from .config import load_config
+
+    config = load_config(getattr(args, "config", None)).merged(
+        engine={
+            "backend": args.backend,
+            "cost_profile": args.cost_profile,
+            "cache": args.cache_file or (True if args.cache else None),
+        }
+    )
+    engine = Engine.from_config(config)
+    if not isinstance(engine.backend, Executor):
+        engine.backend = resolve_backend(engine.backend)
+    return engine
 
 
 def _print_cache_stats(cache: Optional[ResultCache]) -> None:
@@ -267,12 +297,9 @@ def _cmd_rounds(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    cache = _build_cache(args)
     # One session object owns backend + cache for the whole compare
     # fan-out; `Engine.compare` guarantees the ground-truth row.
-    engine = Engine(
-        backend=args.backend, cache=cache, cost_profile=args.cost_profile
-    )
+    engine = _build_engine(args)
     results = engine.compare(
         graph,
         epsilon=args.epsilon,
@@ -297,7 +324,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"n={graph.number_of_nodes}, m={graph.number_of_edges}",
         )
     )
-    _print_cache_stats(cache)
+    _print_cache_stats(engine.cache)
     return 0
 
 
@@ -306,11 +333,7 @@ def _cmd_sweep_stream(args: argparse.Namespace) -> int:
 
     graph = build_family(args.family, args.n, seed=args.seed)
     graph.require_connected()
-    cache = _build_cache(args)
-    backend = resolve_backend(args.backend)
-    engine = Engine(
-        backend=backend, cache=cache, cost_profile=args.cost_profile
-    )
+    engine = _build_engine(args)
     session = engine.dynamic_session(
         graph,
         solver=args.solver,
@@ -394,7 +417,7 @@ def _cmd_sweep_stream(args: argparse.Namespace) -> int:
         f"index maintenance : {index_stats['patched']} patched, "
         f"{index_stats['rebuilt']} rebuilt, {index_stats['noops']} noop(s)"
     )
-    _print_cache_stats(cache)
+    _print_cache_stats(engine.cache)
     return 0
 
 
@@ -405,11 +428,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         build_family(args.family, args.n, seed=args.seed + i)
         for i in range(args.count)
     ]
-    cache = _build_cache(args)
-    backend = resolve_backend(args.backend)
-    engine = Engine(
-        backend=backend, cache=cache, cost_profile=args.cost_profile
-    )
+    engine = _build_engine(args)
+    backend = engine.backend
     results: list[CutResult] = []
     for _ in range(max(1, args.repeat)):
         results = engine.solve_batch(
@@ -456,8 +476,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         if plan.get("actual_makespan") is not None:
             line += f", actual {plan['actual_makespan']:g}s"
+        if plan.get("stolen"):
+            line += (
+                f"; streamed {plan.get('chunks', 0)} chunk(s), "
+                f"{plan['stolen']} re-packed"
+            )
         print(line)
-    _print_cache_stats(cache)
+    _print_cache_stats(engine.cache)
     return 0
 
 
@@ -554,40 +579,96 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import ServiceConfig, create_server
+    from .config import load_config
+    from .service import Heartbeat, ServiceConfig, create_server
 
-    cache = (
-        ResultCache(path=args.cache_file) if args.cache_file else ResultCache()
+    config = load_config(getattr(args, "config", None)).merged(
+        serve={
+            "host": args.host,
+            "port": args.port,
+            "server": args.server,
+            "pool_workers": args.pool_workers,
+            "queue_depth": args.queue_depth,
+            "retry_after": args.retry_after,
+            "delay": args.delay,
+            "max_nodes": args.max_nodes,
+            "max_batch": args.max_batch,
+            "backend": args.backend,
+            "cost_profile": args.cost_profile,
+            "cache_file": args.cache_file,
+            "warm_start": args.warm_start,
+            "access_log": args.access_log,
+            "register": args.register,
+            "advertise": args.advertise,
+            "heartbeat": args.heartbeat,
+            "worker_ttl": args.worker_ttl,
+        }
     )
-    config = ServiceConfig(
-        max_nodes=args.max_nodes,
-        max_batch=args.max_batch,
-        backend=args.backend,
-        cost_profile=args.cost_profile,
+    sc = config.serve
+    cache = ResultCache(path=sc.cache_file) if sc.cache_file else ResultCache()
+    depth = sc.queue_depth
+    if depth is not None and depth <= 0:
+        depth = None  # 0 from a flag or file means "no backpressure gate"
+    service_config = ServiceConfig(
+        max_nodes=sc.max_nodes,
+        max_batch=sc.max_batch,
+        max_body_bytes=sc.max_body_bytes,
+        max_sessions=sc.max_sessions,
+        backend=sc.backend,
+        cost_profile=sc.cost_profile,
+        queue_depth=depth,
+        retry_after=sc.retry_after,
+        worker_ttl=sc.worker_ttl,
+        delay=sc.delay,
     )
     server = create_server(
-        args.host,
-        args.port,
+        sc.host,
+        sc.port,
         cache=cache,
-        config=config,
-        access_log=args.access_log,
-        warm_start=tuple(args.warm_start or ()),
+        config=service_config,
+        access_log=sc.access_log,
+        warm_start=tuple(sc.warm_start),
+        server=sc.server,
+        pool_workers=sc.pool_workers,
     )
-    if args.warm_start:
+    if sc.warm_start:
         print(
             f"warm start: adopted {server.service.warm_start_adopted} "
-            f"cached result(s) from {len(args.warm_start)} file(s)",
+            f"cached result(s) from {len(sc.warm_start)} file(s)",
             flush=True,
         )
     # The resolved URL is printed before blocking (and flushed) so
     # wrappers that pass --port 0 can scrape the picked port.
     print(f"repro service listening on {server.url}", flush=True)
+    heartbeat = None
+    if sc.register:
+        # Join a worker pool: heartbeat our advertised URL to the
+        # manager until shutdown, then withdraw it.
+        advertise = sc.advertise or server.url
+        heartbeat = Heartbeat(
+            sc.register, advertise, interval=sc.heartbeat
+        ).start()
+        print(
+            f"registering with {sc.register} as {advertise} "
+            f"every {sc.heartbeat:g}s",
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
         server.server_close()
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    from .config import load_config
+
+    config = load_config(getattr(args, "config", None))
+    print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -790,6 +871,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Distributed minimum cut (Nanongkai, PODC 2014) — reproduction CLI",
     )
+    parser.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="TOML or JSON config file with [engine]/[serve]/[remote] "
+             "sections (default: $REPRO_CONFIG); any flag passed on the "
+             "command line still wins",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exact = sub.add_parser("exact", help="exact minimum cut")
@@ -941,9 +1028,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="run the JSON-over-HTTP solve service"
     )
-    p_serve.add_argument("--host", default="127.0.0.1")
+    # All serve flags default to None: an omitted flag defers to the
+    # [serve] section of the config file (then the schema default), and
+    # a given flag beats both — the one precedence rule.
+    p_serve.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
     p_serve.add_argument(
-        "--port", type=int, default=8000, help="TCP port (0 picks a free one)"
+        "--port", type=int, default=None,
+        help="TCP port (0 picks a free one; default: 8000)",
+    )
+    p_serve.add_argument(
+        "--server", choices=("async", "threading"), default=None,
+        help="transport: 'async' (keep-alive event loop + bounded "
+             "dispatch pool, the default) or 'threading' (historical "
+             "thread-per-connection)",
+    )
+    p_serve.add_argument(
+        "--pool-workers", type=int, default=None, metavar="N",
+        help="async transport: dispatch thread-pool size "
+             "(default: queue depth + headroom)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="solver requests queued or running before the service "
+             "answers 429 + Retry-After (0 disables; default: 32)",
+    )
+    p_serve.add_argument(
+        "--retry-after", type=float, default=None, metavar="SECONDS",
+        help="suggested client backoff carried on 429 responses",
+    )
+    p_serve.add_argument(
+        "--delay", type=float, default=None, metavar="SECONDS",
+        help="inject this much sleep per task solved (straggler "
+             "simulation for benchmarks/CI; default: 0)",
     )
     p_serve.add_argument(
         "--cache-file", default=None, metavar="PATH",
@@ -954,12 +1070,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="default execution backend for /solve_batch",
     )
     p_serve.add_argument(
-        "--max-nodes", type=int, default=4096,
-        help="reject (413) single graphs larger than this",
+        "--max-nodes", type=int, default=None,
+        help="reject (413) single graphs larger than this (default: 4096)",
     )
     p_serve.add_argument(
-        "--max-batch", type=int, default=256,
-        help="reject (413) batches longer than this",
+        "--max-batch", type=int, default=None,
+        help="reject (413) batches longer than this (default: 256)",
     )
     p_serve.add_argument(
         "--access-log", default=None, metavar="PATH",
@@ -975,7 +1091,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibrated CostProfile for the server engine's packing "
              f"and budget decisions (default: ${REPRO_COST_PROFILE_ENV})",
     )
+    p_serve.add_argument(
+        "--register", default=None, metavar="URL",
+        help="pool manager to heartbeat this worker's URL to (any other "
+             "`repro serve` process; enables discovery without restarts)",
+    )
+    p_serve.add_argument(
+        "--advertise", default=None, metavar="URL",
+        help="URL to register as (default: the listening URL — set this "
+             "when the bind address is not what clients should dial)",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="re-registration interval with --register (default: 5)",
+    )
+    p_serve.add_argument(
+        "--worker-ttl", type=float, default=None, metavar="SECONDS",
+        help="how long this server lists a registered worker without a "
+             "fresh heartbeat (default: 15)",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_config = sub.add_parser(
+        "config", help="inspect the effective configuration"
+    )
+    config_sub = p_config.add_subparsers(dest="action", required=True)
+    p_show = config_sub.add_parser(
+        "show",
+        help="print the effective config (defaults + file + env) as JSON",
+    )
+    p_show.set_defaults(handler=_cmd_config)
 
     p_client = sub.add_parser(
         "client", help="talk to a running repro service"

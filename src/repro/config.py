@@ -1,0 +1,399 @@
+"""One typed schema for every operational knob in :mod:`repro`.
+
+This module is the single source of truth for how the engine, the
+service (``repro serve``), and the remote executor are configured.  It
+was grown out of ROADMAP item 5's observation that each subsystem had
+sprouted its own layer of flags and environment variables: the knobs
+now live in three frozen dataclasses with typed defaults, loadable
+from a config file as well as flags and env.
+
+Precedence — one rule, applied everywhere::
+
+    explicit argument  >  CLI flag  >  environment  >  config file  >  default
+
+* *explicit argument* — a keyword passed to ``Engine(...)``,
+  ``RemoteExecutor(...)``, ``create_server(...)``: always wins.
+* *CLI flag* — ``repro --config repro.toml serve --port 9000`` serves
+  on 9000 regardless of what the file says.  Flags are overlaid via
+  :meth:`ReproConfig.merged`.
+* *environment* — the historical variables (``$REPRO_BACKEND``,
+  ``$REPRO_COST_PROFILE``, ``$REPRO_CONFIG``) overlay the file at
+  :func:`load_config` time.  ``$REPRO_REMOTE_WORKERS`` still works as
+  a deprecated compat shim, resolved inside
+  :class:`~repro.exec.remote.RemoteExecutor` (it only applies when no
+  config supplies workers, and warns).
+* *config file* — TOML (``repro.toml``) or JSON, with ``[engine]``,
+  ``[serve]`` and ``[remote]`` sections.  Unknown sections or keys are
+  a :class:`~repro.errors.ConfigError`, not a silent ignore.
+* *default* — the dataclass field defaults below.
+
+Example ``repro.toml``::
+
+    [engine]
+    backend = "remote"
+    cache = "sweep_cache.json"     # or `cache = true` for in-memory
+
+    [remote]
+    manager = "http://127.0.0.1:8100"   # health-driven discovery
+    dispatch = "stream"                 # max-of-shards latency
+
+    [serve]
+    port = 8101
+    queue_depth = 16                    # backpressure: 429 past this
+    server = "async"
+
+Consumers: :meth:`repro.api.engine.Engine.from_config`,
+``repro serve`` (via :meth:`repro.service.server.ServiceConfig`), and
+:meth:`repro.exec.remote.RemoteExecutor.from_config`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from .errors import ConfigError
+
+#: Environment variable naming a config file to load when no ``--config``
+#: flag / explicit path is given.
+REPRO_CONFIG_ENV = "REPRO_CONFIG"
+
+_BACKEND_ENV = "REPRO_BACKEND"
+_COST_PROFILE_ENV = "REPRO_COST_PROFILE"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Defaults for :class:`~repro.api.engine.Engine` sessions.
+
+    ``cache`` accepts three forms: ``None``/``false`` (no cache),
+    ``true`` (fresh in-memory cache) or a path string (disk-backed).
+    """
+
+    backend: Optional[str] = None
+    solver: str = "auto"
+    epsilon: Optional[float] = None
+    mode: str = "reference"
+    seed: int = 0
+    budget: Optional[int] = None
+    cache: Union[bool, str, None] = None
+    cost_profile: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for one ``repro serve`` process.
+
+    ``server`` selects the transport: ``"async"`` (asyncio event loop,
+    bounded dispatch pool, connection reuse — the tail-latency path) or
+    ``"threading"`` (the historical thread-per-connection server).
+    ``queue_depth`` bounds requests queued or running on the solver
+    path; past it the service answers a structured 429 telling clients
+    to retry after ``retry_after`` seconds.  ``delay`` injects that
+    many seconds of sleep per task solved — a straggler-worker knob for
+    benchmarks and CI, never set in production.  ``register`` points at
+    a pool-manager service the worker should heartbeat its
+    ``advertise`` URL to every ``heartbeat`` seconds; ``worker_ttl`` is
+    how long *this* server keeps a registered worker listed without a
+    fresh heartbeat.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    server: str = "async"
+    pool_workers: Optional[int] = None
+    queue_depth: Optional[int] = 32
+    retry_after: float = 1.0
+    delay: float = 0.0
+    max_nodes: Optional[int] = 4096
+    max_batch: Optional[int] = 256
+    max_body_bytes: Optional[int] = 32 * 1024 * 1024
+    max_sessions: Optional[int] = 32
+    backend: Optional[str] = None
+    cost_profile: Optional[str] = None
+    cache_file: Optional[str] = None
+    warm_start: tuple = ()
+    access_log: Optional[str] = None
+    register: Optional[str] = None
+    advertise: Optional[str] = None
+    heartbeat: float = 5.0
+    worker_ttl: float = 15.0
+
+
+@dataclass(frozen=True)
+class RemoteConfig:
+    """Knobs for the ``remote`` backend's worker pool.
+
+    Membership comes from exactly one of: ``manager`` (a pool-manager
+    URL polled for its live ``/workers`` list — health-driven, workers
+    join and leave without restarts) or ``workers`` (a static URL
+    list).  ``dispatch`` selects ``"stream"`` (chunked dispatch with
+    mid-sweep re-packing; batch latency is max-of-shards) or
+    ``"block"`` (the historical one-shard-per-worker fan-out).
+    """
+
+    workers: tuple = ()
+    manager: Optional[str] = None
+    timeout: float = 300.0
+    max_shard: Optional[int] = None
+    plan: str = "cost"
+    dispatch: str = "stream"
+    health_interval: float = 1.0
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """The three sections plus the path they were loaded from."""
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    remote: RemoteConfig = field(default_factory=RemoteConfig)
+    source: Optional[str] = None
+
+    def merged(self, engine=None, serve=None, remote=None) -> "ReproConfig":
+        """Overlay per-section updates, skipping ``None`` values.
+
+        This is the *CLI flag* layer of the precedence rule: flags that
+        were not given arrive as ``None`` and leave the underlying
+        (env/file/default) value untouched.
+        """
+        return ReproConfig(
+            engine=_overlay(self.engine, engine or {}, "engine"),
+            serve=_overlay(self.serve, serve or {}, "serve"),
+            remote=_overlay(self.remote, remote or {}, "remote"),
+            source=self.source,
+        )
+
+    def to_dict(self) -> dict:
+        """The effective configuration as plain JSON-able data."""
+        payload = {
+            "engine": dataclasses.asdict(self.engine),
+            "serve": dataclasses.asdict(self.serve),
+            "remote": dataclasses.asdict(self.remote),
+            "source": self.source,
+        }
+        payload["serve"]["warm_start"] = list(self.serve.warm_start)
+        payload["remote"]["workers"] = list(self.remote.workers)
+        return payload
+
+
+# -- field validation -----------------------------------------------------
+
+
+def _opt(check):
+    def inner(name, value):
+        return None if value is None else check(name, value)
+
+    return inner
+
+
+def _str(name, value):
+    if not isinstance(value, str) or not value:
+        raise ConfigError(f"{name} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _int(name, value):
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
+def _float(name, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _bool(name, value):
+    if not isinstance(value, bool):
+        raise ConfigError(f"{name} must be a boolean, got {value!r}")
+    return value
+
+
+def _cache(name, value):
+    if value is None or isinstance(value, bool):
+        return value
+    return _str(name, value)
+
+
+def _url_list(name, value):
+    if isinstance(value, str):
+        value = [part.strip() for part in value.split(",") if part.strip()]
+    if not isinstance(value, (list, tuple)):
+        raise ConfigError(
+            f"{name} must be a list of URLs (or a comma-separated "
+            f"string), got {value!r}"
+        )
+    return tuple(_str(f"{name}[{i}]", url).rstrip("/") for i, url in enumerate(value))
+
+
+def _choice(*allowed):
+    def inner(name, value):
+        if value not in allowed:
+            raise ConfigError(
+                f"{name} must be one of {', '.join(map(repr, allowed))}, "
+                f"got {value!r}"
+            )
+        return value
+
+    return inner
+
+
+def _paths(name, value):
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, (list, tuple)):
+        raise ConfigError(f"{name} must be a path or list of paths, got {value!r}")
+    return tuple(_str(f"{name}[{i}]", p) for i, p in enumerate(value))
+
+
+_ENGINE_FIELDS = {
+    "backend": _opt(_str),
+    "solver": _str,
+    "epsilon": _opt(_float),
+    "mode": _choice("reference", "congest"),
+    "seed": _int,
+    "budget": _opt(_int),
+    "cache": _cache,
+    "cost_profile": _opt(_str),
+}
+
+_SERVE_FIELDS = {
+    "host": _str,
+    "port": _int,
+    "server": _choice("async", "threading"),
+    "pool_workers": _opt(_int),
+    "queue_depth": _opt(_int),
+    "retry_after": _float,
+    "delay": _float,
+    "max_nodes": _opt(_int),
+    "max_batch": _opt(_int),
+    "max_body_bytes": _opt(_int),
+    "max_sessions": _opt(_int),
+    "backend": _opt(_str),
+    "cost_profile": _opt(_str),
+    "cache_file": _opt(_str),
+    "warm_start": _paths,
+    "access_log": _opt(_str),
+    "register": _opt(_str),
+    "advertise": _opt(_str),
+    "heartbeat": _float,
+    "worker_ttl": _float,
+}
+
+_REMOTE_FIELDS = {
+    "workers": _url_list,
+    "manager": _opt(_str),
+    "timeout": _float,
+    "max_shard": _opt(_int),
+    "plan": _choice("cost", "stripe"),
+    "dispatch": _choice("stream", "block"),
+    "health_interval": _float,
+}
+
+_SECTIONS = {
+    "engine": (EngineConfig, _ENGINE_FIELDS),
+    "serve": (ServeConfig, _SERVE_FIELDS),
+    "remote": (RemoteConfig, _REMOTE_FIELDS),
+}
+
+
+def _overlay(section, updates: dict, section_name: str):
+    """Apply non-``None`` ``updates`` onto a section dataclass, typed."""
+    _, fields = _SECTIONS[section_name]
+    cleaned = {}
+    for key, value in updates.items():
+        if key not in fields:
+            raise ConfigError(
+                f"unknown config key {section_name}.{key} "
+                f"(allowed: {', '.join(sorted(fields))})"
+            )
+        if value is None:
+            continue
+        cleaned[key] = fields[key](f"{section_name}.{key}", value)
+    return dataclasses.replace(section, **cleaned) if cleaned else section
+
+
+def _parse_file(path: Path) -> dict:
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path}: {exc}") from None
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            return tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigError(f"config file {path} is not valid TOML: {exc}") from None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ConfigError(f"config file {path} is not valid JSON: {exc}") from None
+
+
+def load_config(
+    path: Union[str, Path, None] = None, *, env: bool = True
+) -> ReproConfig:
+    """Build the effective :class:`ReproConfig` (file + env layers).
+
+    ``path=None`` consults ``$REPRO_CONFIG``; when that is unset too,
+    the result is defaults plus the env layer.  The CLI-flag layer is
+    the caller's job (:meth:`ReproConfig.merged`); explicit API
+    arguments sit above everything, per the module precedence rule.
+    """
+    if path is None and env:
+        path = os.environ.get(REPRO_CONFIG_ENV) or None
+    sections: dict = {}
+    source = None
+    if path is not None:
+        file_path = Path(path)
+        data = _parse_file(file_path)
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"config file {file_path} must hold an object with "
+                f"[engine]/[serve]/[remote] sections, got "
+                f"{type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_SECTIONS))
+        if unknown:
+            raise ConfigError(
+                f"unknown config section(s) {', '.join(map(repr, unknown))} "
+                f"in {file_path} (allowed: {', '.join(sorted(_SECTIONS))})"
+            )
+        for name, body in data.items():
+            if not isinstance(body, dict):
+                raise ConfigError(
+                    f"config section [{name}] must be a table/object, "
+                    f"got {type(body).__name__}"
+                )
+            sections[name] = body
+        source = str(file_path)
+    config = ReproConfig(source=source).merged(
+        engine=sections.get("engine"),
+        serve=sections.get("serve"),
+        remote=sections.get("remote"),
+    )
+    if env:
+        config = config.merged(
+            engine={
+                "backend": os.environ.get(_BACKEND_ENV) or None,
+                "cost_profile": os.environ.get(_COST_PROFILE_ENV) or None,
+            }
+        )
+    return config
+
+
+__all__ = [
+    "REPRO_CONFIG_ENV",
+    "EngineConfig",
+    "RemoteConfig",
+    "ReproConfig",
+    "ServeConfig",
+    "load_config",
+]

@@ -56,6 +56,12 @@ class AlgorithmError(ReproError):
     parameters, unsupported input shape) or an internal invariant fails."""
 
 
+class ConfigError(ReproError):
+    """Raised for invalid configuration: an unreadable or malformed
+    config file, an unknown section or key, or a value of the wrong
+    type (see :mod:`repro.config`)."""
+
+
 class ServiceError(ReproError):
     """Raised for service-layer request/response failures.
 
@@ -65,9 +71,15 @@ class ServiceError(ReproError):
     (:class:`repro.service.ServiceClient`) it surfaces any non-2xx
     response, with the decoded structured error body in ``payload``
     (``status`` is 0 when the service was unreachable altogether).
+    ``retry_after`` is set on backpressure rejections (429): the
+    seconds the client should wait before retrying, carried in both
+    the structured body and the ``Retry-After`` header.
     """
 
-    def __init__(self, message: str, *, status: int = 400, payload=None):
+    def __init__(
+        self, message: str, *, status: int = 400, payload=None, retry_after=None
+    ):
         super().__init__(message)
         self.status = int(status)
         self.payload = payload
+        self.retry_after = None if retry_after is None else float(retry_after)

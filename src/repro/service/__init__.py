@@ -10,16 +10,24 @@ touching any solver:
 * :mod:`~repro.service.server` — :class:`ReproService` (transport-free
   dispatch over :func:`repro.api.solve`/``solve_batch`` with **one**
   shared :class:`~repro.exec.cache.ResultCache` across connections)
-  wrapped in a :class:`ThreadingHTTPServer`;
+  behind two interchangeable transports: :class:`AsyncHTTPServer`
+  (asyncio, keep-alive multiplexing, bounded dispatch pool +
+  queue-depth backpressure — the default) and :class:`ReproHTTPServer`
+  (the historical :class:`ThreadingHTTPServer`);
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the matching
-  typed client.
+  typed client (persistent keep-alive connections per thread);
+* :mod:`~repro.service.pool` — :class:`WorkerPool` (health-driven
+  membership over ``/healthz`` probes and/or a ``/register`` manager)
+  and :class:`Heartbeat` (the worker-side registration loop).
 
 Run one with ``python -m repro serve`` and talk to it with
 ``python -m repro client`` or plain curl; see the README's
-"Service layer" section for the endpoint tour.
+"Service layer" and "Tail latency & worker pools" sections for the
+endpoint tour.
 """
 
 from .client import RemoteDynamicSession, ServiceClient
+from .pool import Heartbeat, WorkerPool
 from .protocol import (
     PROTOCOL_VERSION,
     cut_result_from_json,
@@ -27,22 +35,33 @@ from .protocol import (
     parse_batch_request,
     parse_graph,
     parse_mutate_request,
+    parse_register_request,
     parse_solve_request,
 )
-from .server import ReproHTTPServer, ReproService, ServiceConfig, create_server
+from .server import (
+    AsyncHTTPServer,
+    ReproHTTPServer,
+    ReproService,
+    ServiceConfig,
+    create_server,
+)
 
 __all__ = [
+    "AsyncHTTPServer",
+    "Heartbeat",
     "PROTOCOL_VERSION",
     "RemoteDynamicSession",
     "ReproHTTPServer",
     "ReproService",
     "ServiceClient",
     "ServiceConfig",
+    "WorkerPool",
     "create_server",
     "cut_result_from_json",
     "cut_result_to_json",
     "parse_batch_request",
     "parse_graph",
     "parse_mutate_request",
+    "parse_register_request",
     "parse_solve_request",
 ]

@@ -1,4 +1,4 @@
-"""A small typed client for the repro service (stdlib ``urllib`` only).
+"""A small typed client for the repro service (stdlib ``http.client``).
 
 Used by the test suite, the ``python -m repro client`` CLI and the CI
 service-smoke job; also the reference implementation for anyone talking
@@ -13,19 +13,28 @@ to the service from another process::
     result = client.solve(graph)             # -> repro.CutResult
     assert result.matches(graph)             # witness verifies locally
 
+Transport: one persistent keep-alive connection **per thread** (the
+remote backend posts shards from many threads at once), so repeated
+small requests stop paying TCP connection setup — which dominated
+small-graph p99 latency under the old one-``urlopen``-per-request
+transport.  A reused connection the server has since closed is retried
+once on a fresh one; ``keep_alive=False`` restores the historical
+connection-per-request behaviour (the P3 benchmark measures the gap).
+
 Every non-2xx response raises :class:`~repro.errors.ServiceError` with
-the HTTP status and the decoded structured error body in ``payload``;
-an unreachable service raises it with ``status=0``.
+the HTTP status and the decoded structured error body in ``payload``
+(backpressure 429s carry ``retry_after``); an unreachable service
+raises it with ``status=0``.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
 from typing import Any, Iterable, Optional, Sequence, Union
+from urllib.parse import urlsplit
 
 from ..api.result import CutResult
 from ..errors import AlgorithmError, ServiceError
@@ -46,13 +55,74 @@ def _graph_payload(graph: GraphPayload):
 
 
 class ServiceClient:
-    """JSON-over-HTTP client bound to one service base URL."""
+    """JSON-over-HTTP client bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``keep_alive=True`` (default) holds one persistent connection per
+    calling thread and reuses it across requests; ``False`` opens a
+    fresh connection per request, the pre-PR 9 behaviour.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = 60.0, *, keep_alive: bool = True
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        split = urlsplit(self.base_url)
+        self._scheme = split.scheme or "http"
+        try:
+            self._host, self._port = split.hostname, split.port
+        except ValueError:
+            self._host = self._port = None
+        self._prefix = split.path.rstrip("/")
+        self._local = threading.local()
 
     # -- transport -----------------------------------------------------
+
+    def _connection(self) -> tuple:
+        """This thread's live connection, or a freshly opened one.
+
+        Returns ``(connection, fresh)``; connect-time failures raise
+        the ``status=0`` "unreachable" error (the failover cue the
+        remote backend keys on).
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, False
+        if self._host is None or self._scheme not in ("http", "https"):
+            raise ServiceError(
+                f"service at {self.base_url} unreachable: not a valid "
+                "http(s) URL",
+                status=0,
+            )
+        factory = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        conn = factory(self._host, self._port, timeout=self.timeout)
+        try:
+            conn.connect()
+        except OSError as exc:
+            conn.close()
+            raise ServiceError(
+                f"service at {self.base_url} unreachable: {exc}", status=0
+            ) from None
+        self._local.conn = conn
+        return conn, True
+
+    def _drop(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection, if any."""
+        self._drop()
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None):
         data = None
@@ -60,59 +130,72 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = response.read()
-                try:
-                    return json.loads(body.decode("utf-8"))
-                except (UnicodeDecodeError, ValueError):
-                    # A 2xx with a non-JSON body is a broken (or dying,
-                    # or non-repro) server, not a client bug: surface it
-                    # as the typed error with a body snippet, so callers
-                    # handling ServiceError cover this path too.
-                    snippet = body[:120].decode("utf-8", "replace")
-                    raise ServiceError(
-                        f"{method} {path} -> {response.status}: response is "
-                        f"not valid JSON: {snippet!r}",
-                        status=response.status,
-                    ) from None
-        except urllib.error.HTTPError as exc:
-            body = exc.read()
+        if not self.keep_alive:
+            headers["Connection"] = "close"
+        for first_try in (True, False):
+            conn, fresh = self._connection()
             try:
-                decoded = json.loads(body.decode("utf-8"))
+                conn.request(
+                    method, (self._prefix + path) or "/", body=data, headers=headers
+                )
+                response = conn.getresponse()
+                body = response.read()
+                will_close = response.will_close
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop()
+                if not fresh and first_try:
+                    # The server closed an idle keep-alive connection
+                    # between requests; retry once on a fresh one.  A
+                    # *fresh* connection dying mid-exchange is a real
+                    # failure and is never retried.
+                    continue
+                raise ServiceError(
+                    f"service at {self.base_url} dropped the connection: "
+                    f"{type(exc).__name__}: {exc}",
+                    status=0,
+                ) from None
+            break
+        if will_close or not self.keep_alive:
+            self._drop()
+        status = response.status
+        if 200 <= status < 300:
+            try:
+                return json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, ValueError):
-                decoded = None
-            if not isinstance(decoded, dict):
-                # A proxy (or a non-repro server) may answer with
-                # non-JSON or a JSON array/scalar; still raise the
-                # typed error, with the raw body as the message.
-                decoded = {"error": {"message": body.decode("utf-8", "replace")}}
-            error = decoded.get("error")
-            if not isinstance(error, dict):
-                error = {"message": repr(error)}
-            message = error.get("message", exc.reason)
-            raise ServiceError(
-                f"{method} {path} -> {exc.code}: {message}",
-                status=exc.code,
-                payload=decoded,
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"service at {self.base_url} unreachable: {exc.reason}", status=0
-            ) from None
-        except (http.client.HTTPException, ConnectionError, TimeoutError) as exc:
-            # urllib only wraps OSErrors raised while *connecting*; a
-            # server dying mid-exchange surfaces as RemoteDisconnected /
-            # BadStatusLine (HTTPException) or a reset on the socket.
-            # Same meaning for callers: the worker is gone.
-            raise ServiceError(
-                f"service at {self.base_url} dropped the connection: "
-                f"{type(exc).__name__}: {exc}",
-                status=0,
-            ) from None
+                # A 2xx with a non-JSON body is a broken (or dying,
+                # or non-repro) server, not a client bug: surface it
+                # as the typed error with a body snippet, so callers
+                # handling ServiceError cover this path too.
+                snippet = body[:120].decode("utf-8", "replace")
+                raise ServiceError(
+                    f"{method} {path} -> {status}: response is "
+                    f"not valid JSON: {snippet!r}",
+                    status=status,
+                ) from None
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            decoded = None
+        if not isinstance(decoded, dict):
+            # A proxy (or a non-repro server) may answer with
+            # non-JSON or a JSON array/scalar; still raise the
+            # typed error, with the raw body as the message.
+            decoded = {"error": {"message": body.decode("utf-8", "replace")}}
+        error = decoded.get("error")
+        if not isinstance(error, dict):
+            error = {"message": repr(error)}
+        message = error.get("message", response.reason)
+        retry_after = error.get("retry_after")
+        if isinstance(retry_after, bool) or not isinstance(
+            retry_after, (int, float)
+        ):
+            retry_after = None
+        raise ServiceError(
+            f"{method} {path} -> {status}: {message}",
+            status=status,
+            payload=decoded,
+            retry_after=retry_after,
+        )
 
     # -- endpoints -----------------------------------------------------
 
@@ -123,6 +206,18 @@ class ServiceClient:
     def solvers(self) -> list[dict]:
         """``GET /solvers`` — the registry with capability metadata."""
         return self._request("GET", "/solvers")["solvers"]
+
+    def workers(self) -> list[str]:
+        """``GET /workers`` — live registered workers (pool managers)."""
+        return self._request("GET", "/workers")["workers"]
+
+    def register(self, url: str, *, leaving: bool = False) -> dict:
+        """``POST /register`` — announce (or withdraw) a worker URL.
+
+        Doubles as the heartbeat: re-post every few seconds to stay
+        listed past the manager's ``worker_ttl``.
+        """
+        return self._request("POST", "/register", {"url": url, "leaving": leaving})
 
     def solve(
         self,

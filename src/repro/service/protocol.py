@@ -38,7 +38,10 @@ from ..graphs.io import edge_list_from_text, graph_from_json
 #: on ``/solve_batch`` — the shard-slice form the ``remote`` backend
 #: posts.  Version 3 added ``POST /mutate`` dynamic-graph sessions
 #: (requests valid under an older version stay valid under a newer).
-PROTOCOL_VERSION = 3
+#: Version 4 added worker-pool membership (``POST /register``
+#: heartbeats + ``GET /workers``) and the ``retry_after`` field on
+#: backpressure (429) error bodies.
+PROTOCOL_VERSION = 4
 
 _SOLVE_FIELDS = ("graph", "solver", "epsilon", "mode", "seed", "budget", "options")
 _BATCH_FIELDS = (
@@ -46,6 +49,7 @@ _BATCH_FIELDS = (
     "seeds", "solvers",
 )
 _MUTATE_FIELDS = ("session", "open", "ops", "undo", "solve", "close")
+_REGISTER_FIELDS = ("url", "leaving")
 _OPEN_FIELDS = ("graph", "solver", "epsilon", "mode", "seed", "patch_budget")
 _MODES = ("reference", "congest")
 
@@ -291,6 +295,28 @@ def parse_mutate_request(body: Any) -> dict:
     }
 
 
+def parse_register_request(body: Any) -> dict:
+    """Validate a ``POST /register`` envelope (worker-pool membership).
+
+    A worker announces (or renews) its membership by posting its own
+    base URL; the same request with ``leaving=true`` withdraws it
+    immediately instead of waiting for the TTL to lapse.  Registration
+    doubles as the heartbeat: workers re-post every few seconds and the
+    manager drops any URL whose last heartbeat is older than its
+    ``worker_ttl``.
+    """
+    body = _require_envelope(body, _REGISTER_FIELDS, "register")
+    url = body.get("url")
+    if not isinstance(url, str) or not url.strip():
+        raise ServiceError(
+            f"register request needs a non-empty 'url' string, got {url!r}"
+        )
+    leaving = body.get("leaving", False)
+    if not isinstance(leaving, bool):
+        raise ServiceError(f"'leaving' must be a boolean, got {leaving!r}")
+    return {"url": url.strip().rstrip("/"), "leaving": leaving}
+
+
 def cut_result_to_json(result: CutResult) -> dict:
     """The JSON form of a :class:`CutResult` (see module docstring)."""
     return {
@@ -340,14 +366,21 @@ def cut_result_from_json(payload: Any) -> CutResult:
 
 
 def error_body(exc: Exception, status: int) -> dict:
-    """The structured error body every non-2xx response carries."""
-    return {
-        "error": {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "status": status,
-        }
+    """The structured error body every non-2xx response carries.
+
+    Backpressure rejections additionally carry ``retry_after`` (seconds
+    to wait before retrying), mirrored into the HTTP ``Retry-After``
+    header by both transports.
+    """
+    error = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "status": status,
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"error": error}
 
 
 def json_default(value: Any) -> str:
@@ -365,5 +398,6 @@ __all__ = [
     "parse_batch_request",
     "parse_graph",
     "parse_mutate_request",
+    "parse_register_request",
     "parse_solve_request",
 ]

@@ -16,9 +16,13 @@ Architecture — three layers, separable on purpose:
   the CLI's ``sweep`` uses, on the same ``serial``/``thread``/
   ``process`` backends — including shard slices whose per-task seeds
   and solvers arrive frozen (the ``remote`` backend's wire form).
-* :class:`ReproHTTPServer` + the request handler wrap the core in a
-  stdlib :class:`~http.server.ThreadingHTTPServer` (JSON over HTTP,
-  no new dependencies), with an optional access-log file.
+* Two interchangeable transports wrap the core: :class:`AsyncHTTPServer`
+  (the default — an asyncio event loop where idle keep-alive
+  connections cost a coroutine, not an OS thread, and dispatch runs on
+  a bounded worker pool) and :class:`ReproHTTPServer` (the historical
+  stdlib :class:`~http.server.ThreadingHTTPServer`).  Both JSON over
+  HTTP, no new dependencies, optional access-log file, identical
+  lifecycle (``serve_forever`` / ``shutdown`` / ``server_close``).
 * :mod:`repro.service.client` speaks the same protocol back.
 
 Endpoints::
@@ -27,6 +31,9 @@ Endpoints::
     POST /solve_batch  many graphs -> many CutResults (backend knob)
     POST /mutate       dynamic-graph sessions: open/ops/undo/solve/close,
                        each op acknowledged with the resulting graph hash
+    POST /register     worker-pool membership: announce/renew/withdraw a
+                       worker URL (heartbeat; TTL-expired entries drop)
+    GET  /workers      the live registered worker URLs
     GET  /solvers      the registry with capability + cost metadata
     GET  /healthz      version, uptime, cache hit/miss counters, sessions
 
@@ -37,22 +44,35 @@ Error contract: every non-2xx response is a structured JSON body
 limits are 413, unknown paths 404, wrong verbs 405, and anything a
 solver raises on a validated instance is a 400 naming the library
 exception (``AlgorithmError``, ``DisconnectedGraphError``, ...).
+Backpressure is part of the contract too: past ``queue_depth``
+concurrently queued-or-running solver requests, the service answers a
+structured 429 whose body (and ``Retry-After`` header) carries the
+seconds to wait — bounded memory instead of unbounded thread growth.
 
-Concurrency model: the HTTP layer threads per connection, but solver
+Concurrency model: the transport multiplexes connections, but solver
 work is serialised behind one lock — CPU-bound pure-Python solvers gain
 nothing from interleaving, and the shared cache's LRU bookkeeping is
 not thread-safe.  Parallelism belongs to the *backend* knob (a batch
-request fans out across processes); cross-machine sharding is the
-ROADMAP item this seam was built for.
+request fans out across processes) and to the pool of workers
+(``/register``-discovered, consumed by the ``remote`` backend's
+streaming dispatch).  ``/healthz``, ``/workers`` and ``/register``
+bypass both the queue gate and the solver lock, so membership probing
+keeps working while the solver path is saturated.
 """
 
 from __future__ import annotations
 
+import asyncio
+import http.client
 import json
+import math
+import socket
 import sys
 import threading
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -60,7 +80,7 @@ from typing import Optional, Union
 
 from ..api.engine import Engine
 from ..api.registry import SolverRegistry
-from ..errors import ReproError, ServiceError
+from ..errors import ConfigError, ReproError, ServiceError
 from ..exec.cache import ResultCache
 from .protocol import (
     PROTOCOL_VERSION,
@@ -69,6 +89,7 @@ from .protocol import (
     json_default,
     parse_batch_request,
     parse_mutate_request,
+    parse_register_request,
     parse_solve_request,
 )
 
@@ -76,6 +97,16 @@ from .protocol import (
 #: Backend names a *request* may select for the server-side fan-out.
 #: Local executors only — see the 400 in ``_handle_batch`` for why.
 _REQUEST_BACKENDS = frozenset({"serial", "thread", "process"})
+
+
+def _retry_after_header(payload: object) -> Optional[str]:
+    """``Retry-After`` delta-seconds for a backpressure body, if any."""
+    error = payload.get("error") if isinstance(payload, dict) else None
+    if isinstance(error, dict):
+        value = error.get("retry_after")
+        if not isinstance(value, bool) and isinstance(value, (int, float)):
+            return str(max(0, math.ceil(value)))
+    return None
 
 
 @dataclass(frozen=True)
@@ -97,6 +128,14 @@ class ServiceConfig:
     :class:`~repro.exec.calibrate.CostProfile` for the server engine
     (cost-aware chunk packing, seconds-denominated budgets; ``None``
     defers to ``$REPRO_COST_PROFILE``).
+
+    ``queue_depth`` bounds solver-path requests concurrently queued or
+    running: one more gets a structured 429 telling the client to come
+    back in ``retry_after`` seconds (``None`` disables the gate).
+    ``worker_ttl`` is how long a ``/register``-ed worker stays listed
+    without a fresh heartbeat.  ``delay`` injects that many seconds of
+    sleep per task solved — the straggler-worker knob the P3 benchmark
+    and the CI latency-smoke use; leave it 0 in production.
     """
 
     max_nodes: Optional[int] = 4096
@@ -105,6 +144,10 @@ class ServiceConfig:
     max_sessions: Optional[int] = 32
     backend: Optional[str] = None
     cost_profile: Optional[str] = None
+    queue_depth: Optional[int] = 32
+    retry_after: float = 1.0
+    worker_ttl: float = 15.0
+    delay: float = 0.0
 
 
 class ReproService:
@@ -134,12 +177,24 @@ class ReproService:
             self.engine.warm_start(*warm_start) if warm_start else 0
         )
         self.started = time.time()
-        self.counters = {"solve": 0, "solve_batch": 0, "mutate": 0, "errors": 0}
+        self.counters = {
+            "solve": 0, "solve_batch": 0, "mutate": 0, "register": 0,
+            "errors": 0, "throttled": 0,
+        }
         #: Open dynamic-graph sessions by id; guarded by the solve lock
         #: (session state and the shared cache are not thread-safe).
         self.sessions: dict[str, object] = {}
+        #: Registered worker URLs -> last heartbeat (monotonic seconds);
+        #: guarded by the stats lock, pruned lazily against worker_ttl.
+        self.workers_seen: dict[str, float] = {}
         self._solve_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        depth = self.config.queue_depth
+        if depth is not None and depth < 1:
+            raise ConfigError(f"queue_depth must be >= 1 or None, got {depth}")
+        self._admit_slots = (
+            threading.BoundedSemaphore(depth) if depth is not None else None
+        )
 
     @property
     def registry(self) -> SolverRegistry:
@@ -157,9 +212,11 @@ class ReproService:
         routes = {
             "/healthz": ("GET", self._handle_health),
             "/solvers": ("GET", self._handle_solvers),
+            "/workers": ("GET", self._handle_workers),
             "/solve": ("POST", self._handle_solve),
             "/solve_batch": ("POST", self._handle_batch),
             "/mutate": ("POST", self._handle_mutate),
+            "/register": ("POST", self._handle_register),
         }
         try:
             if path not in routes:
@@ -196,6 +253,45 @@ class ReproService:
         with self._stats_lock:
             self.counters[endpoint] += 1
 
+    # -- backpressure --------------------------------------------------
+
+    @contextmanager
+    def _admit(self):
+        """One slot on the solver path, or a structured 429.
+
+        The gate sits *before* the solver lock: requests past
+        ``queue_depth`` are bounced immediately with ``retry_after``
+        seconds in the body (and the ``Retry-After`` header), instead
+        of each parking a transport thread on the lock.  ``/healthz``,
+        ``/workers`` and ``/register`` never pass through here, so
+        health probing — the pool manager's livelihood — keeps working
+        while the solver path is saturated.
+        """
+        slots = self._admit_slots
+        if slots is None:
+            yield
+            return
+        if not slots.acquire(blocking=False):
+            with self._stats_lock:
+                self.counters["throttled"] += 1
+            retry_after = self.config.retry_after
+            raise ServiceError(
+                f"solver queue is full ({self.config.queue_depth} "
+                f"request(s) queued or running); retry after "
+                f"{retry_after:g}s",
+                status=429,
+                retry_after=retry_after,
+            )
+        try:
+            yield
+        finally:
+            slots.release()
+
+    def _straggle(self, units: int) -> None:
+        """The injected-straggler knob: ``delay`` seconds per task."""
+        if self.config.delay > 0:
+            time.sleep(self.config.delay * units)
+
     # -- endpoints -----------------------------------------------------
 
     def _check_size(self, graph, label: str = "graph") -> None:
@@ -212,7 +308,8 @@ class ReproService:
         graph = request["graph"]
         self._check_size(graph)
         self._count("solve")
-        with self._solve_lock:
+        with self._admit(), self._solve_lock:
+            self._straggle(1)
             result = self.engine.solve(
                 graph,
                 request["solver"],
@@ -250,7 +347,8 @@ class ReproService:
                 f"(or null for the server default), got {backend!r}"
             )
         backend = backend or self.config.backend
-        with self._solve_lock:
+        with self._admit(), self._solve_lock:
+            self._straggle(len(graphs))
             # Freeze the batch into tasks, honouring the protocol's
             # per-task seed/solver overrides when a shard slice arrives,
             # then run them on the engine's backend + shared cache.
@@ -282,7 +380,7 @@ class ReproService:
 
         request = parse_mutate_request(body)
         self._count("mutate")
-        with self._solve_lock:
+        with self._admit(), self._solve_lock:
             if request["open"] is not None:
                 opened = request["open"]
                 limit = self.config.max_sessions
@@ -367,6 +465,35 @@ class ReproService:
             "stats": stats,
         }
 
+    # -- worker-pool membership ----------------------------------------
+
+    def _live_workers_locked(self, now: float) -> list[str]:
+        """Prune TTL-lapsed heartbeats; stats lock held by the caller."""
+        ttl = self.config.worker_ttl
+        expired = [
+            url for url, seen in self.workers_seen.items() if now - seen > ttl
+        ]
+        for url in expired:
+            del self.workers_seen[url]
+        return list(self.workers_seen)
+
+    def _handle_register(self, body: object) -> dict:
+        request = parse_register_request(body)
+        self._count("register")
+        now = time.monotonic()
+        with self._stats_lock:
+            if request["leaving"]:
+                self.workers_seen.pop(request["url"], None)
+            else:
+                self.workers_seen[request["url"]] = now
+            workers = self._live_workers_locked(now)
+        return {"workers": workers, "ttl": self.config.worker_ttl}
+
+    def _handle_workers(self, _body: object) -> dict:
+        with self._stats_lock:
+            workers = self._live_workers_locked(time.monotonic())
+        return {"workers": workers, "ttl": self.config.worker_ttl}
+
     def _handle_solvers(self, _body: object) -> dict:
         return {
             "solvers": [
@@ -396,6 +523,7 @@ class ReproService:
 
         with self._stats_lock:
             counters = dict(self.counters)
+            workers = self._live_workers_locked(time.monotonic())
         return {
             "status": "ok",
             "version": __version__,
@@ -403,6 +531,7 @@ class ReproService:
             "uptime_seconds": time.time() - self.started,
             "solvers": len(self.registry),
             "sessions": len(self.sessions),
+            "workers": len(workers),
             "cache": self.cache.stats(),
             "requests": counters,
         }
@@ -444,6 +573,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        retry_after = _retry_after_header(payload)
+        if retry_after is not None:
+            self.send_header("Retry-After", retry_after)
         self.end_headers()
         self.wfile.write(blob)
 
@@ -487,6 +619,228 @@ class ReproHTTPServer(ThreadingHTTPServer):
             self.access_log = None
 
 
+class AsyncHTTPServer:
+    """Asyncio transport over one :class:`ReproService` — the tail path.
+
+    Same lifecycle contract as :class:`ReproHTTPServer` (the tests and
+    the CLI treat them interchangeably): the socket binds eagerly in
+    the constructor so ``port=0`` resolves before ``serve_forever()``
+    runs, ``serve_forever()`` blocks until ``shutdown()`` is called
+    from another thread, and ``server_close()`` releases the socket,
+    the dispatch pool and the access log.
+
+    Why asyncio when solver work is lock-serialised anyway: keep-alive
+    clients (every :class:`~repro.service.client.ServiceClient` since
+    PR 9) hold their connection open between requests.  Under the
+    threading transport each of those idle connections pins an OS
+    thread; here it costs one parked coroutine, and actual dispatch
+    work runs on a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+    sized just above the service's ``queue_depth`` — so memory stays
+    flat no matter how many clients connect, and the queue gate (429 +
+    ``Retry-After``) is what says no, not thread exhaustion.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ReproService,
+        access_log_path: Union[str, Path, None] = None,
+        *,
+        pool_workers: Optional[int] = None,
+        idle_timeout: float = 60.0,
+    ) -> None:
+        self.service = service
+        self._socket = socket.create_server(address, backlog=128)
+        self._socket.setblocking(False)
+        self.server_address = self._socket.getsockname()
+        self.access_log = (
+            open(access_log_path, "a", encoding="utf-8")
+            if access_log_path is not None
+            else None
+        )
+        if pool_workers is None:
+            depth = service.config.queue_depth or 8
+            # Headroom above the queue gate so /healthz + /workers still
+            # get a thread while `queue_depth` solver requests sit in
+            # the gate (429s themselves are answered without dispatch).
+            pool_workers = max(4, min(depth + 4, 64))
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_workers, thread_name_prefix="repro-dispatch"
+        )
+        self.idle_timeout = float(idle_timeout)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._shutdown_requested = threading.Event()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:  # noqa: ARG002
+        """Run the event loop until :meth:`shutdown` (thread-safe) fires."""
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._started.set()
+        try:
+            if self._shutdown_requested.is_set():
+                return  # shut down before the loop even started
+            try:
+                server = await asyncio.start_server(
+                    self._handle_connection, sock=self._socket
+                )
+            except OSError:
+                # ``server_close`` raced us and closed the listening
+                # socket before the loop attached to it; nothing to do.
+                if self._shutdown_requested.is_set():
+                    return
+                raise
+            try:
+                await self._stop_event.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+        finally:
+            self._loop = None
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        """Stop ``serve_forever`` from another thread (idempotent)."""
+        self._shutdown_requested.set()
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # the loop already exited between the check and the call
+        if self._started.is_set():
+            self._stopped.wait(timeout=10.0)
+
+    def server_close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+        if self.access_log is not None:
+            self.access_log.close()
+            self.access_log = None
+
+    # -- one connection ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while await self._handle_one(reader, writer):
+                pass
+        except asyncio.CancelledError:
+            pass  # loop shutting down mid-request: just drop the connection
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # peer gone or idle-timed-out: just drop the connection
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_one(self, reader, writer) -> bool:
+        """Read one request, dispatch off-loop, write one response.
+
+        Returns True to keep the connection for another request.
+        """
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=self.idle_timeout
+        )
+        if not request_line.strip():
+            return False  # EOF (or a bare CRLF) between requests
+        try:
+            method, target, version = request_line.decode("latin-1").split()
+        except ValueError:
+            exc = ServiceError("malformed HTTP request line", status=400)
+            await self._write_response(
+                writer, 400, error_body(exc, 400), False, "<malformed>"
+            )
+            return False
+        headers = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            length = 0
+        keep = (
+            version == "HTTP/1.1"
+            and headers.get("connection", "").lower() != "close"
+        )
+        request_repr = f"{method} {target} {version}"
+        limit = self.service.config.max_body_bytes
+        if limit is not None and length > limit:
+            # Refuse before buffering a byte; the unread body makes the
+            # connection unusable, so close it (mirrors the threading
+            # transport's behaviour, pinned by the failure-mode tests).
+            exc = ServiceError(
+                f"request body of {length} bytes is over this "
+                f"service's limit of {limit}",
+                status=413,
+            )
+            await self._write_response(
+                writer, 413, error_body(exc, 413), False, request_repr
+            )
+            return False
+        body = await reader.readexactly(length) if length > 0 else b""
+        status, payload = await asyncio.get_running_loop().run_in_executor(
+            self._pool, self.service.dispatch, method, target, body
+        )
+        await self._write_response(writer, status, payload, keep, request_repr)
+        return keep
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep: bool, request_repr: str
+    ) -> None:
+        blob = json.dumps(payload, default=json_default).encode("utf-8")
+        reason = http.client.responses.get(status, "")
+        head = [
+            f"HTTP/1.1 {status} {reason}".rstrip(),
+            "Content-Type: application/json",
+            f"Content-Length: {len(blob)}",
+            f"Connection: {'keep-alive' if keep else 'close'}",
+        ]
+        retry_after = _retry_after_header(payload)
+        if retry_after is not None:
+            head.append(f"Retry-After: {retry_after}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + blob)
+        await writer.drain()
+        self._log(writer, request_repr, status)
+
+    def _log(self, writer, request_repr: str, status: int) -> None:
+        peer = writer.get_extra_info("peername")
+        host = peer[0] if peer else "-"
+        stamp = time.strftime("%d/%b/%Y %H:%M:%S")
+        line = '%s - - [%s] "%s" %d\n' % (host, stamp, request_repr, status)
+        stream = self.access_log or sys.stderr
+        try:
+            stream.write(line)
+            stream.flush()
+        except ValueError:
+            pass  # the log was closed mid-shutdown
+
+
 def create_server(
     host: str = "127.0.0.1",
     port: int = 8000,
@@ -496,21 +850,36 @@ def create_server(
     config: Optional[ServiceConfig] = None,
     access_log: Union[str, Path, None] = None,
     warm_start: tuple = (),
-) -> ReproHTTPServer:
+    server: str = "async",
+    pool_workers: Optional[int] = None,
+) -> Union["AsyncHTTPServer", ReproHTTPServer]:
     """Build a ready-to-serve HTTP server (``port=0`` picks a free port).
 
-    The caller owns the lifecycle: ``serve_forever()`` to block (or run
-    it in a thread, as the tests do) and ``server_close()`` to release
-    the socket and the access log.  ``warm_start`` paths are merged
-    into the shared cache before the socket accepts its first request.
+    ``server`` selects the transport: ``"async"`` (default — the
+    :class:`AsyncHTTPServer` tail-latency path) or ``"threading"``
+    (the historical thread-per-connection server).  The caller owns
+    the lifecycle: ``serve_forever()`` to block (or run it in a
+    thread, as the tests do) and ``server_close()`` to release the
+    socket and the access log.  ``warm_start`` paths are merged into
+    the shared cache before the socket accepts its first request.
     """
     service = ReproService(
         registry=registry, cache=cache, config=config, warm_start=warm_start
     )
-    return ReproHTTPServer((host, port), service, access_log_path=access_log)
+    if server == "threading":
+        return ReproHTTPServer((host, port), service, access_log_path=access_log)
+    if server != "async":
+        raise ConfigError(
+            f"server must be 'async' or 'threading', got {server!r}"
+        )
+    return AsyncHTTPServer(
+        (host, port), service, access_log_path=access_log,
+        pool_workers=pool_workers,
+    )
 
 
 __all__ = [
+    "AsyncHTTPServer",
     "ReproHTTPServer",
     "ReproService",
     "ServiceConfig",
