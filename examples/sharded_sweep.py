@@ -18,9 +18,14 @@ end to end and exits non-zero on the first broken property:
    partition, seed) to ``backend="serial"`` on the same inputs;
 2. mixed-solver fan-out — a ``solve_all`` compare through the pool
    matches serial too (per-task solver names cross the wire);
-3. with ``--warm MERGED.json`` instead of worker URLs, the same sweep
+3. with ``--warm MERGED`` instead of worker URLs, the same sweep
    replayed through ``Engine(cache=...)`` is answered entirely from
-   the merged cache — 100% hits, zero solver runs.
+   the merged cache — 100% hits, zero solver runs.  ``MERGED`` is a
+   merged cache file or a segment-store directory: the CI cache-smoke
+   job runs workers on store directories (``--cache-file w1_store``),
+   merges and compacts them (``repro cache merge`` + ``repro cache
+   compact --export warm_cache.json``), and replays this sweep from
+   the compacted artifact.
 """
 
 import sys

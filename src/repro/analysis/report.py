@@ -36,6 +36,7 @@ EXPERIMENT_ORDER = [
     "P3_service_latency",
     "P4_dynamic_mutations",
     "P5_scheduler_balance",
+    "P6_cache_store",
 ]
 
 HEADER = (

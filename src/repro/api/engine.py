@@ -78,7 +78,10 @@ class Engine:
     cache:
         Default :class:`~repro.exec.cache.ResultCache` consulted by
         every call.  A ``str``/``Path`` opens a persistent cache on
-        that file (the warm-start workflow); ``None`` disables caching.
+        that path (the warm-start workflow) — a ``*.json`` file for
+        the single-file tier, a directory for the append-only
+        :class:`repro.store.SegmentStore` tier; ``None`` disables
+        caching.
     solver / epsilon / mode / seed / budget:
         Default solver knobs, overridable per call.  Semantics are the
         façade's: ``solver="auto"`` picks by capability (and treats
@@ -609,7 +612,7 @@ class Engine:
     def warm_start(
         self, *sources: Union[ResultCache, str, Path], flush: bool = True
     ) -> int:
-        """Merge recorded cache files (or live caches) into this engine.
+        """Merge recorded caches (files, store dirs, live caches) in.
 
         The cache warm-start workflow: record caches during benchmark or
         sharded-sweep runs, merge them (``python -m repro cache merge``

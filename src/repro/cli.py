@@ -24,8 +24,11 @@ Commands
                warm-started from merged cache files).
 ``client``     talk to a running service (health, solvers, solve,
                batch round trips) — the CI smoke job's tool.
-``cache``      result-cache tooling: ``merge`` worker cache files into
-               one warm-start file, ``stats`` a cache file's contents.
+``cache``      result-cache tooling: ``merge`` worker cache files or
+               store directories into one warm-start target, ``stats``
+               a cache's contents, and — for segment stores
+               (:mod:`repro.store`) — ``compact`` under a retention
+               policy, ``gc`` dead records, ``segments`` breakdown.
 ``calibrate``  measure registered solvers over a generator grid, fit
                their cost models against wall time, and write a
                versioned ``CostProfile`` artifact for
@@ -46,8 +49,8 @@ backend with ``--backend serial|thread|process`` (default from
 Configuration follows one precedence rule everywhere
 (:mod:`repro.config`): **CLI flag > environment > config file >
 default**.  ``repro --config repro.toml <command>`` (or
-``$REPRO_CONFIG``) loads ``[engine]``/``[serve]``/``[remote]``
-sections; any flag you pass on top still wins.
+``$REPRO_CONFIG``) loads ``[engine]``/``[serve]``/``[remote]``/
+``[cache]`` sections; any flag you pass on top still wins.
 
 Examples
 --------
@@ -65,6 +68,9 @@ Examples
     python -m repro serve --port 8137 --cache-file service_cache.json
     python -m repro client solve --url http://127.0.0.1:8137 --family gnp --n 48
     python -m repro cache merge --out warm.json w1_cache.json w2_cache.json
+    python -m repro cache merge --out merged_store w1_store w2_store
+    python -m repro cache compact merged_store --max-entries 5000 \\
+        --export warm_cache.json
     python -m repro serve --port 8137 --warm-start warm.json
     python -m repro serve --port 8101 --register http://127.0.0.1:8100
     python -m repro --config repro.toml sweep --family gnp --n 64 \\
@@ -75,10 +81,12 @@ Examples
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
 import sys
 import time
+from pathlib import Path
 from typing import Optional
 
 from .analysis import fit_power_law, format_cut_results, format_table
@@ -156,7 +164,8 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-file",
         default=None,
         metavar="PATH",
-        help="persistent JSON result cache (implies --cache)",
+        help="persistent result cache: a *.json file or a segment-store "
+             "directory (implies --cache)",
     )
     parser.add_argument(
         "--cost-profile",
@@ -743,23 +752,152 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retention_policy(args: argparse.Namespace) -> "RetentionPolicy":
+    """The effective retention policy for ``repro cache compact``.
+
+    The usual precedence chain: ``--max-entries``/``--max-bytes``/
+    ``--max-age`` flags beat ``$REPRO_CACHE_MAX_*``, which beat the
+    config file's ``[cache]`` section, which beats the (unbounded)
+    defaults.
+    """
+    from .config import load_config
+    from .store import RetentionPolicy
+
+    cache = load_config(getattr(args, "config", None)).merged(
+        cache={
+            "max_entries": args.max_entries,
+            "max_bytes": args.max_bytes,
+            "max_age": args.max_age,
+        }
+    ).cache
+    return RetentionPolicy(
+        max_entries=cache.max_entries,
+        max_bytes=cache.max_bytes,
+        max_age=cache.max_age,
+    )
+
+
+def _export_entries(path: str, entries: dict) -> None:
+    """Write a schema-2 warm-start artifact from a store's entry map."""
+    Path(path).write_text(
+        json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "entries": entries},
+            sort_keys=True,
+        ),
+        encoding="utf-8",
+    )
+
+
+def _print_compaction(report, *, header: str) -> None:
+    print(
+        f"{header}: kept {report.kept_entries} "
+        f"entr{_ies(report.kept_entries)}, dropped "
+        f"{report.dropped_entries} entr{_ies(report.dropped_entries)} "
+        f"and {report.dropped_records - report.dropped_entries} dead "
+        f"record(s); {report.segments_before} -> "
+        f"{report.segments_after} segment(s), {report.bytes_before} -> "
+        f"{report.bytes_after} bytes"
+        + (
+            f"; removed {report.orphans_removed} orphan file(s)"
+            if report.orphans_removed
+            else ""
+        )
+    )
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from .store import SegmentStore
+
     if args.action == "merge":
         out = ResultCache(path=args.out)
         already = out.stats()["disk_entries"]
-        adopted = 0
+        added = kept = skipped_files = 0
         for source in args.inputs:
-            count = out.merge_from(source, flush=False)
-            print(f"{source}: adopted {count} entr{_ies(count)}")
-            adopted += count
+            try:
+                counts = out.merge_from(source, flush=False)
+            except ReproError as exc:
+                # Typically a newer-schema file this version refuses to
+                # read; report it instead of aborting a batch merge.
+                print(f"{source}: skipped ({exc})")
+                skipped_files += 1
+                continue
+            print(
+                f"{source}: added {counts.added} "
+                f"entr{_ies(counts.added)}, kept ours for "
+                f"{counts.kept_ours}"
+                + (f", skipped {counts.skipped} malformed" if counts.skipped else "")
+            )
+            added += counts.added
+            kept += counts.kept_ours
         out.flush()
         total = out.stats()["disk_entries"]
+        kind = (
+            "store schema 3"
+            if out.store is not None
+            else f"schema {CACHE_SCHEMA_VERSION}"
+        )
         print(
-            f"wrote {args.out}: {total} entr{_ies(total)} "
-            f"(schema {CACHE_SCHEMA_VERSION}; {already} already present, "
-            f"{adopted} newly adopted)"
+            f"wrote {args.out}: {total} entr{_ies(total)} ({kind}; "
+            f"{already} already present, {added} added, {kept} kept ours, "
+            f"{skipped_files} input(s) skipped)"
+        )
+        return 0 if skipped_files < len(args.inputs) else 2
+
+    if args.action in ("compact", "gc"):
+        store = SegmentStore(args.path, create=False)
+        if args.action == "compact":
+            report = store.compact(_retention_policy(args))
+        else:
+            report = store.gc()
+        if getattr(args, "export", None):
+            _export_entries(args.export, store.entries())
+        if args.json:
+            payload = dataclasses.asdict(report)
+            payload["path"] = args.path
+            if getattr(args, "export", None):
+                payload["export"] = args.export
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            _print_compaction(report, header=f"{args.action} {args.path}")
+            if getattr(args, "export", None):
+                count = report.kept_entries
+                print(
+                    f"exported {count} entr{_ies(count)} to {args.export} "
+                    f"(schema {CACHE_SCHEMA_VERSION} warm-start file)"
+                )
+        return 0
+
+    if args.action == "segments":
+        store = SegmentStore(args.path, create=False)
+        infos = store.segment_infos()
+        if args.json:
+            print(
+                json.dumps(
+                    {"path": args.path, "segments": infos},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"{args.path}: {len(infos)} segment(s)")
+        rows = [
+            [
+                info["name"],
+                "sealed" if info["sealed"] else "active",
+                str(info["records"]),
+                str(info["puts"]),
+                str(info["hit_records"]),
+                str(info["bytes"]),
+            ]
+            for info in infos
+        ]
+        print(
+            format_table(
+                ["segment", "state", "records", "puts", "hits", "bytes"], rows
+            )
         )
         return 0
+
     # args.action == "stats"
     entries = load_cache_file(args.path)
     by_solver: dict[str, int] = {}
@@ -767,24 +905,54 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         solver = payload.get("solver")
         name = solver if isinstance(solver, str) else "<unknown>"
         by_solver[name] = by_solver.get(name, 0) + 1
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "path": args.path,
-                    "entries": len(entries),
-                    "schema": CACHE_SCHEMA_VERSION,
-                    "by_solver": by_solver,
-                },
-                indent=2,
-                sort_keys=True,
-            )
+    store_stats = None
+    if Path(args.path).is_dir():
+        store = SegmentStore(args.path, create=False)
+        store_stats = store.stats()
+        now = time.time()
+        newest, oldest = store.newest_ts(), store.oldest_ts()
+        store_stats["newest_entry_age"] = (
+            None if newest is None else max(0.0, now - newest)
         )
+        store_stats["oldest_entry_age"] = (
+            None if oldest is None else max(0.0, now - oldest)
+        )
+    if args.json:
+        payload = {
+            "path": args.path,
+            "entries": len(entries),
+            "schema": 3 if store_stats is not None else CACHE_SCHEMA_VERSION,
+            "by_solver": by_solver,
+        }
+        if store_stats is not None:
+            payload["store"] = store_stats
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    print(
-        f"{args.path}: {len(entries)} entr{_ies(len(entries))} "
-        f"(schema <= {CACHE_SCHEMA_VERSION})"
-    )
+    if store_stats is not None:
+        print(
+            f"{args.path}: {len(entries)} live entr{_ies(len(entries))} "
+            f"(store schema 3)"
+        )
+        print(
+            f"  segments          : {store_stats['segments']} "
+            f"({store_stats['store_bytes']} bytes on disk)"
+        )
+        print(
+            f"  records           : {store_stats['live_entries']} live, "
+            f"{store_stats['dead_records']} dead "
+            f"({store_stats['compactions']} compaction(s) so far)"
+        )
+        if store_stats["oldest_entry_age"] is not None:
+            print(
+                f"  entry age         : newest "
+                f"{store_stats['newest_entry_age']:.1f}s, oldest "
+                f"{store_stats['oldest_entry_age']:.1f}s"
+            )
+    else:
+        print(
+            f"{args.path}: {len(entries)} entr{_ies(len(entries))} "
+            f"(schema <= {CACHE_SCHEMA_VERSION})"
+        )
     for name in sorted(by_solver):
         print(f"  {name:20s} {by_solver[name]}")
     return 0
@@ -1063,7 +1231,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--cache-file", default=None, metavar="PATH",
-        help="persist the shared result cache to this JSON file",
+        help="persist the shared result cache to this JSON file or "
+             "segment-store directory",
     )
     p_serve.add_argument(
         "--backend", choices=sorted(BACKENDS), default=None,
@@ -1083,7 +1252,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--warm-start", action="append", default=None, metavar="PATH",
-        help="merge this cache file into the shared cache before serving "
+        help="merge this cache file or store directory into the shared "
+             "cache before serving "
              "(repeatable; see `repro cache merge`)",
     )
     p_serve.add_argument(
@@ -1162,30 +1332,88 @@ def build_parser() -> argparse.ArgumentParser:
         p_action.set_defaults(handler=_cmd_client)
 
     p_cache = sub.add_parser(
-        "cache", help="result-cache tooling (merge, stats)"
+        "cache",
+        help="result-cache tooling (merge, stats, compact, gc, segments)",
     )
     cache_sub = p_cache.add_subparsers(dest="action", required=True)
     p_merge = cache_sub.add_parser(
         "merge",
-        help="merge cache files into one warm-start file (existing "
-             "entries in --out win on conflict)",
+        help="merge cache files/stores into one warm-start target "
+             "(existing entries in --out win on conflict; a directory "
+             "--out writes a segment store)",
     )
     p_merge.add_argument(
-        "--out", required=True, metavar="PATH", help="merged cache file to write"
+        "--out", required=True, metavar="PATH",
+        help="merged cache file (*.json) or store directory to write",
     )
     p_merge.add_argument(
-        "inputs", nargs="+", metavar="CACHE", help="cache files to merge in"
+        "inputs", nargs="+", metavar="CACHE",
+        help="cache files or store directories to merge in",
     )
     p_merge.set_defaults(handler=_cmd_cache)
     p_stats = cache_sub.add_parser(
-        "stats", help="entry count and per-solver breakdown of a cache file"
+        "stats",
+        help="entry count, per-solver breakdown, and (for a store "
+             "directory) segment/byte/age counters",
     )
-    p_stats.add_argument("path", metavar="CACHE", help="cache file to inspect")
+    p_stats.add_argument(
+        "path", metavar="CACHE", help="cache file or store directory"
+    )
     p_stats.add_argument(
         "--json", action="store_true",
         help="emit the stats as JSON instead of text",
     )
     p_stats.set_defaults(handler=_cmd_cache)
+    p_compact = cache_sub.add_parser(
+        "compact",
+        help="fold a store's segments into one under the retention "
+             "policy ([cache] config section; flags below win)",
+    )
+    p_compact.add_argument(
+        "path", metavar="STORE", help="segment-store directory"
+    )
+    p_compact.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep at most N entries (most-frequently/-recently hit win)",
+    )
+    p_compact.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="keep the best-ranked entries fitting this byte budget",
+    )
+    p_compact.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="drop entries idle longer than this (vs the newest record)",
+    )
+    p_compact.add_argument(
+        "--export", default=None, metavar="FILE",
+        help="also write the surviving entries as a schema-2 JSON "
+             "warm-start artifact",
+    )
+    p_compact.add_argument(
+        "--json", action="store_true",
+        help="emit the compaction report as JSON",
+    )
+    p_compact.set_defaults(handler=_cmd_cache)
+    p_gc = cache_sub.add_parser(
+        "gc",
+        help="drop dead records and orphan segment files, keeping "
+             "every live entry",
+    )
+    p_gc.add_argument("path", metavar="STORE", help="segment-store directory")
+    p_gc.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_gc.set_defaults(handler=_cmd_cache)
+    p_segments = cache_sub.add_parser(
+        "segments", help="per-segment breakdown of a store directory"
+    )
+    p_segments.add_argument(
+        "path", metavar="STORE", help="segment-store directory"
+    )
+    p_segments.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON"
+    )
+    p_segments.set_defaults(handler=_cmd_cache)
 
     p_bounds = sub.add_parser("bounds", help="certified minimum-cut interval")
     _add_instance_arguments(p_bounds)

@@ -23,8 +23,9 @@ Precedence — one rule, applied everywhere::
   :class:`~repro.exec.remote.RemoteExecutor` (it only applies when no
   config supplies workers, and warns).
 * *config file* — TOML (``repro.toml``) or JSON, with ``[engine]``,
-  ``[serve]`` and ``[remote]`` sections.  Unknown sections or keys are
-  a :class:`~repro.errors.ConfigError`, not a silent ignore.
+  ``[serve]``, ``[remote]`` and ``[cache]`` sections.  Unknown
+  sections or keys are a :class:`~repro.errors.ConfigError`, not a
+  silent ignore.
 * *default* — the dataclass field defaults below.
 
 Example ``repro.toml``::
@@ -41,6 +42,10 @@ Example ``repro.toml``::
     port = 8101
     queue_depth = 16                    # backpressure: 429 past this
     server = "async"
+
+    [cache]
+    max_entries = 10000                 # retention bound for `cache compact`
+    max_age = 604800.0                  # drop entries idle > 7 days
 
 Consumers: :meth:`repro.api.engine.Engine.from_config`,
 ``repro serve`` (via :meth:`repro.service.server.ServiceConfig`), and
@@ -64,6 +69,9 @@ REPRO_CONFIG_ENV = "REPRO_CONFIG"
 
 _BACKEND_ENV = "REPRO_BACKEND"
 _COST_PROFILE_ENV = "REPRO_COST_PROFILE"
+_CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+_CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+_CACHE_MAX_AGE_ENV = "REPRO_CACHE_MAX_AGE"
 
 
 @dataclass(frozen=True)
@@ -146,15 +154,34 @@ class RemoteConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Retention bounds for cache-store compaction (``repro cache``).
+
+    ``None`` means *unbounded* along that axis.  ``max_age`` is in
+    seconds, measured against the store's newest record timestamp (not
+    the wall clock) so compaction stays deterministic.  These are the
+    file/env layer behind ``repro cache compact``'s ``--max-entries``
+    / ``--max-bytes`` / ``--max-age`` flags.
+    """
+
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    max_age: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class ReproConfig:
-    """The three sections plus the path they were loaded from."""
+    """The four sections plus the path they were loaded from."""
 
     engine: EngineConfig = field(default_factory=EngineConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
     remote: RemoteConfig = field(default_factory=RemoteConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
     source: Optional[str] = None
 
-    def merged(self, engine=None, serve=None, remote=None) -> "ReproConfig":
+    def merged(
+        self, engine=None, serve=None, remote=None, cache=None
+    ) -> "ReproConfig":
         """Overlay per-section updates, skipping ``None`` values.
 
         This is the *CLI flag* layer of the precedence rule: flags that
@@ -165,6 +192,7 @@ class ReproConfig:
             engine=_overlay(self.engine, engine or {}, "engine"),
             serve=_overlay(self.serve, serve or {}, "serve"),
             remote=_overlay(self.remote, remote or {}, "remote"),
+            cache=_overlay(self.cache, cache or {}, "cache"),
             source=self.source,
         )
 
@@ -174,6 +202,7 @@ class ReproConfig:
             "engine": dataclasses.asdict(self.engine),
             "serve": dataclasses.asdict(self.serve),
             "remote": dataclasses.asdict(self.remote),
+            "cache": dataclasses.asdict(self.cache),
             "source": self.source,
         }
         payload["serve"]["warm_start"] = list(self.serve.warm_start)
@@ -296,10 +325,17 @@ _REMOTE_FIELDS = {
     "health_interval": _float,
 }
 
+_CACHE_FIELDS = {
+    "max_entries": _opt(_int),
+    "max_bytes": _opt(_int),
+    "max_age": _opt(_float),
+}
+
 _SECTIONS = {
     "engine": (EngineConfig, _ENGINE_FIELDS),
     "serve": (ServeConfig, _SERVE_FIELDS),
     "remote": (RemoteConfig, _REMOTE_FIELDS),
+    "cache": (CacheConfig, _CACHE_FIELDS),
 }
 
 
@@ -335,6 +371,20 @@ def _parse_file(path: Path) -> dict:
         return json.loads(raw.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise ConfigError(f"config file {path} is not valid JSON: {exc}") from None
+
+
+def _env_number(name: str, kind):
+    """Parse a numeric environment variable, or ``None`` when unset."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return kind(raw)
+    except ValueError:
+        raise ConfigError(
+            f"${name} must be {'an integer' if kind is int else 'a number'}, "
+            f"got {raw!r}"
+        ) from None
 
 
 def load_config(
@@ -378,19 +428,26 @@ def load_config(
         engine=sections.get("engine"),
         serve=sections.get("serve"),
         remote=sections.get("remote"),
+        cache=sections.get("cache"),
     )
     if env:
         config = config.merged(
             engine={
                 "backend": os.environ.get(_BACKEND_ENV) or None,
                 "cost_profile": os.environ.get(_COST_PROFILE_ENV) or None,
-            }
+            },
+            cache={
+                "max_entries": _env_number(_CACHE_MAX_ENTRIES_ENV, int),
+                "max_bytes": _env_number(_CACHE_MAX_BYTES_ENV, int),
+                "max_age": _env_number(_CACHE_MAX_AGE_ENV, float),
+            },
         )
     return config
 
 
 __all__ = [
     "REPRO_CONFIG_ENV",
+    "CacheConfig",
     "EngineConfig",
     "RemoteConfig",
     "ReproConfig",

@@ -26,10 +26,13 @@ every sweep workload; this package is the layer that scales it:
   ``$REPRO_COST_PROFILE`` so packing happens in predicted wall seconds.
 * :mod:`~repro.exec.cache` — :class:`CacheKey` (graph content hash +
   solver knobs) and :class:`ResultCache`, an LRU with an optional
-  versioned JSON persistence tier (mergeable via
-  :meth:`ResultCache.merge_from` / ``python -m repro cache merge``),
-  consulted by ``solve``/``solve_all``/``solve_batch`` via their
-  ``cache=`` parameter.
+  persistence tier: a single versioned JSON file, or — when ``path``
+  is a directory — a :class:`repro.store.SegmentStore` of append-only
+  JSONL segments with deterministic compaction.  Mergeable via
+  :meth:`ResultCache.merge_from` / ``python -m repro cache merge``
+  (which reports :class:`MergeCounts`), consulted by
+  ``solve``/``solve_all``/``solve_batch`` via their ``cache=``
+  parameter.
 
 Usage::
 
@@ -51,7 +54,13 @@ from .backends import (
     register_backend,
     resolve_backend,
 )
-from .cache import CACHE_SCHEMA_VERSION, CacheKey, ResultCache, load_cache_file
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheKey,
+    MergeCounts,
+    ResultCache,
+    load_cache_file,
+)
 from .calibrate import (
     PROFILE_SCHEMA_VERSION,
     REPRO_COST_PROFILE_ENV,
@@ -72,6 +81,7 @@ __all__ = [
     "DynamicCosts",
     "Executor",
     "FittedModel",
+    "MergeCounts",
     "PROFILE_SCHEMA_VERSION",
     "PackPlan",
     "ProcessExecutor",

@@ -10,13 +10,26 @@ produce the same key, so benchmark sweeps and service traffic
 that replay instances skip recomputation entirely.
 
 :class:`ResultCache` is a bounded LRU with hit/miss counters and an
-optional JSON persistence tier: pass ``path=`` and every storable
-entry is flushed to disk and reloaded by later processes.  Tuples in
-``extras`` (the paper solvers report e.g. ``per_tree_values``) are
-persisted via a tagged encoding and restored as tuples; results that
-still do not round-trip JSON faithfully (CONGEST metrics attached,
-non-scalar nodes, non-string dict keys) stay memory-only — the cache
-never persists an entry it could not reproduce exactly.
+optional persistence tier: pass ``path=`` and every storable entry is
+flushed to disk and reloaded by later processes.  Tuples in ``extras``
+(the paper solvers report e.g. ``per_tree_values``) are persisted via
+a tagged encoding and restored as tuples; results that still do not
+round-trip JSON faithfully (CONGEST metrics attached, non-scalar
+nodes, non-string dict keys) stay memory-only — the cache never
+persists an entry it could not reproduce exactly.
+
+The persistence tier has two shapes, picked by the ``path``:
+
+* a ``*.json`` **file** — the historic schema-2 envelope, rewritten
+  wholesale on flush (fine for short sweeps, shippable as a single
+  warm-start artifact);
+* a **directory** — a :class:`repro.store.SegmentStore` of append-only
+  JSONL segments (manifest schema 3): flushes append only the new
+  ``put``/``hit`` records, crash-truncated tails are repaired on open,
+  and ``python -m repro cache compact|gc|segments`` maintain it under
+  a deterministic :class:`~repro.store.RetentionPolicy`.  Disk-tier
+  hits are recorded as usage metadata so compaction can keep the
+  most-frequently/most-recently used entries.
 
 The on-disk file is **versioned**: schema
 :data:`CACHE_SCHEMA_VERSION` wraps the entry dict in
@@ -57,6 +70,12 @@ except ImportError:  # non-POSIX: merge-on-flush stays best-effort
 from ..api.result import CutResult
 from ..errors import AlgorithmError
 from ..graphs.graph import WeightedGraph
+from ..store import SegmentStore, is_store_path
+
+#: Pending disk-tier hit counts are appended to a store-backed cache
+#: once this many accumulate, so a pure-hit workload (a warm worker
+#: replaying a sweep) still persists its usage metadata without a flush.
+_HIT_FLUSH_THRESHOLD = 256
 
 #: Version of the on-disk cache file format.  Bumped whenever the JSON
 #: shape changes incompatibly; the loader still accepts the unversioned
@@ -157,9 +176,13 @@ class ResultCache:
     maxsize:
         In-memory entry cap; least-recently-used entries are evicted.
     path:
-        Optional JSON file for the persistence tier.  Loaded lazily and
-        tolerant of a missing/corrupt file (the cache just starts cold);
-        flushed on every store of a persistable entry.
+        Optional persistence tier.  A ``*.json`` file path opens the
+        historic single-file tier (loaded lazily, tolerant of a
+        missing/corrupt file — the cache just starts cold, rewritten
+        wholesale on flush).  A *directory* path opens a
+        :class:`repro.store.SegmentStore` whose flushes append only
+        the new records (see :func:`repro.store.is_store_path` for how
+        the two are told apart).
     """
 
     def __init__(
@@ -171,9 +194,17 @@ class ResultCache:
         self.path = Path(path) if path is not None else None
         self._memory: OrderedDict[CacheKey, CutResult] = OrderedDict()
         self._disk: dict[str, dict] = {}
+        self.store: Optional[SegmentStore] = None
+        #: Records not yet appended to the store: fresh entries and
+        #: coalesced per-digest hit counts.
+        self._pending_puts: list[tuple[str, dict]] = []
+        self._pending_hits: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
-        if self.path is not None and self.path.exists():
+        if self.path is not None and is_store_path(self.path):
+            self.store = SegmentStore(self.path)
+            self._disk = self.store.entries()
+        elif self.path is not None and self.path.exists():
             try:
                 loaded = json.loads(self.path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
@@ -190,6 +221,7 @@ class ResultCache:
         if entry is not None:
             self._memory.move_to_end(key)
             self.hits += 1
+            self._note_hit(key)
             return entry
         payload = self._disk.get(key.digest())
         if payload is not None:
@@ -197,25 +229,48 @@ class ResultCache:
             if result is not None:
                 self._remember(key, result)
                 self.hits += 1
+                self._note_hit(key)
                 return result
         self.misses += 1
         return None
 
+    def _note_hit(self, key: CacheKey) -> None:
+        """Record usage metadata for the store's retention policy.
+
+        Hit records are what let :meth:`repro.store.SegmentStore.
+        compact` keep the most-frequently/most-recently used entries;
+        they are coalesced per digest and appended in batches so the
+        hot path never touches the disk per hit.
+        """
+        if self.store is None:
+            return
+        digest = key.digest()
+        self._pending_hits[digest] = self._pending_hits.get(digest, 0) + 1
+        if sum(self._pending_hits.values()) >= _HIT_FLUSH_THRESHOLD:
+            self.flush()
+
     def put(self, key: CacheKey, result: CutResult, *, flush: bool = True) -> None:
         """Store ``result`` under ``key`` (memory always, disk if faithful).
 
-        With a ``path`` configured the file is rewritten on the store —
+        With a file-backed tier the file is rewritten on the store —
         even when this entry itself is memory-only — so a corrupt or
         foreign file is healed as soon as the cache is written to.
         Batch writers pass ``flush=False`` per entry and call
         :meth:`flush` once at the end, avoiding an O(N²) rewrite of the
-        growing file across a sweep.
+        growing file across a sweep.  A segment-store tier appends
+        instead of rewriting, so even per-entry flushes stay O(1).
         """
         self._remember(key, result)
         if self.path is not None:
             payload = _result_to_payload(result)
             if payload is not None:
-                self._disk[key.digest()] = payload
+                digest = key.digest()
+                if self.store is not None:
+                    if digest not in self._disk:
+                        self._disk[digest] = payload
+                        self._pending_puts.append((digest, payload))
+                else:
+                    self._disk[digest] = payload
             if flush:
                 self.flush()
 
@@ -230,16 +285,26 @@ class ResultCache:
     def flush(self) -> None:
         """Write the persistence tier (no-op for memory-only caches).
 
-        Entries another process persisted since this cache loaded the
-        file are re-read and adopted first (ours win on conflict), so
-        concurrent writers sharing one ``path`` append to — rather than
-        erase — each other's work.  The read-merge-write runs under an
-        advisory ``flock`` on a sibling ``.lock`` file (POSIX; a no-op
-        best-effort elsewhere), and the file itself is written to a
-        temp path and atomically renamed into place, so a reader (or a
-        crash) mid-write never observes truncated JSON.
+        Store-backed caches append the pending ``put``/``hit`` records
+        to the active segment — O(new entries), which is the whole
+        point of the segment tier — under the store's own lock.
+
+        File-backed caches re-read and adopt entries another process
+        persisted since this cache loaded the file (ours win on
+        conflict), so concurrent writers sharing one ``path`` append
+        to — rather than erase — each other's work.  The
+        read-merge-write runs under an advisory ``flock`` on a sibling
+        ``.lock`` file (POSIX; a no-op best-effort elsewhere), and the
+        file itself is written to a temp path and atomically renamed
+        into place, so a reader (or a crash) mid-write never observes
+        truncated JSON.
         """
         if self.path is None:
+            return
+        if self.store is not None:
+            puts, self._pending_puts = self._pending_puts, []
+            hits, self._pending_hits = self._pending_hits, {}
+            self.store.append(puts, hits.items())
             return
         with self._file_lock():
             if self.path.exists():
@@ -295,28 +360,38 @@ class ResultCache:
         """
         self._memory.clear()
         self._disk.clear()
+        self._pending_puts.clear()
+        self._pending_hits.clear()
         self.hits = 0
         self.misses = 0
-        if self.path is not None and self.path.exists():
+        if self.store is not None:
+            self.store.clear()
+        elif self.path is not None and self.path.exists():
             with self._file_lock():
                 self._write()
 
     def merge_from(
         self, source: Union["ResultCache", str, Path], *, flush: bool = True
-    ) -> int:
+    ) -> "MergeCounts":
         """Adopt another cache's persistable entries (ours win on conflict).
 
-        ``source`` is a cache file path or a live :class:`ResultCache`.
-        From a file, the digest → payload entries are read directly
-        (versioned envelope or the legacy bare dict); a missing,
-        unreadable, corrupt or newer-schema file raises
+        ``source`` is a cache file path, a store directory, or a live
+        :class:`ResultCache`.  From a file, the digest → payload
+        entries are read directly (versioned envelope or the legacy
+        bare dict); from a store directory, its live entry map; a
+        missing, unreadable, corrupt or newer-schema source raises
         :class:`AlgorithmError` — a merge *tool* must not silently
         treat a bad input as empty.  From a live cache, both its disk
-        tier and the persistable part of its memory tier contribute, so
-        memory-only caches merge too.  Returns the number of entries
-        actually adopted (conflicts and duplicates don't count); with
-        ``flush`` (default) the merged tier is written out when this
-        cache has a ``path``.
+        tier and the persistable part of its memory tier contribute,
+        so memory-only caches merge too.
+
+        Returns a :class:`MergeCounts` — an ``int`` equal to the
+        number of entries adopted (so arithmetic keeps working), with
+        ``added`` / ``kept_ours`` / ``skipped`` fields reporting the
+        full outcome instead of merging silently.  With ``flush``
+        (default) the merged tier is written out when this cache has a
+        ``path``; merging a schema ≤ 2 file into a store-backed cache
+        is exactly the schema-3 migration path.
         """
         if isinstance(source, ResultCache):
             entries = dict(source._disk)
@@ -328,29 +403,71 @@ class ResultCache:
                         entries[digest] = payload
         else:
             entries = load_cache_file(source)
-        adopted = 0
+        added = kept_ours = skipped = 0
         for digest, payload in entries.items():
-            if isinstance(payload, dict) and digest not in self._disk:
+            if not isinstance(payload, dict):
+                skipped += 1
+            elif digest in self._disk:
+                kept_ours += 1
+            else:
                 self._disk[digest] = payload
-                adopted += 1
-        if adopted and flush and self.path is not None:
+                if self.store is not None:
+                    self._pending_puts.append((digest, payload))
+                added += 1
+        if added and flush and self.path is not None:
             self.flush()
-        return adopted
+        return MergeCounts.build(
+            added=added, kept_ours=kept_ours, skipped=skipped
+        )
 
     def stats(self) -> dict[str, int]:
-        """Counters snapshot: hits, misses, entries per tier."""
-        return {
+        """Counters snapshot: hits, misses, entries per tier.
+
+        With a segment-store tier attached, the store's counters
+        (``segments``, ``live_entries``, ``dead_records``,
+        ``store_bytes``, ``compactions``, ``appended_records``) ride
+        along — which is how ``/healthz`` and ``repro cache stats``
+        report them without knowing about the store.
+        """
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "memory_entries": len(self._memory),
             "disk_entries": len(self._disk),
         }
+        if self.store is not None:
+            stats.update(self.store.stats())
+        return stats
 
     def __len__(self) -> int:
         return len(self._memory)
 
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._memory or key.digest() in self._disk
+
+
+class MergeCounts(int):
+    """The outcome of one :meth:`ResultCache.merge_from` call.
+
+    An ``int`` subclass so historic callers (``adopted +=
+    cache.merge_from(...)``) keep working: the integer value is the
+    number of entries **added**.  The extra fields report what a bare
+    count hid — ``kept_ours`` (source entries that conflicted with an
+    existing entry, which won) and ``skipped`` (malformed source
+    entries that were not adoptable).
+    """
+
+    added: int
+    kept_ours: int
+    skipped: int
+
+    @classmethod
+    def build(cls, *, added: int, kept_ours: int, skipped: int) -> "MergeCounts":
+        counts = cls(added)
+        counts.added = added
+        counts.kept_ours = kept_ours
+        counts.skipped = skipped
+        return counts
 
 
 def load_cache_file(path: Union[str, Path]) -> dict[str, dict]:
@@ -361,9 +478,14 @@ def load_cache_file(path: Union[str, Path]) -> dict[str, dict]:
     ``merge_from``, ``python -m repro cache merge|stats`` — where
     silently treating a bad input as empty would corrupt the workflow:
     it raises :class:`AlgorithmError` for unreadable files, invalid
-    JSON, unrecognised shapes and newer schemas.
+    JSON, unrecognised shapes and newer schemas.  A *directory* is
+    read as a :class:`repro.store.SegmentStore` (manifest schema 3)
+    and contributes its live entry map — so every cache tool accepts
+    files and stores interchangeably.
     """
     path = Path(path)
+    if path.is_dir():
+        return SegmentStore(path, create=False).entries()
     try:
         loaded = json.loads(path.read_text(encoding="utf-8"))
     except OSError as exc:
@@ -466,6 +588,7 @@ def _result_from_payload(payload: dict) -> Optional[CutResult]:
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheKey",
+    "MergeCounts",
     "ResultCache",
     "decode_extras",
     "encode_extras",

@@ -519,6 +519,10 @@ class ReproService:
         }
 
     def _handle_health(self, _body: object) -> dict:
+        # ``cache`` carries the ResultCache counters; with a segment
+        # store attached (``--cache-file`` naming a directory) the
+        # store's counters — segments, live/dead records, bytes,
+        # compactions — ride along in the same dict.
         from .. import __version__
 
         with self._stats_lock:

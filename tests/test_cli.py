@@ -172,6 +172,132 @@ class TestJsonOutput:
         assert sum(payload["by_solver"].values()) == 2
 
 
+class TestCacheStoreCli:
+    """`repro cache` against segment-store directories (schema 3)."""
+
+    def sweep_into(self, path, *, family="cycle", count=3):
+        assert main(
+            ["sweep", "--family", family, "--n", "8", "--count", str(count),
+             "--solver", "stoer_wagner", "--cache-file", str(path)]
+        ) == 0
+
+    def test_merge_reports_counts(self, tmp_path, capsys):
+        import json
+
+        self.sweep_into(tmp_path / "a_store", family="cycle")
+        self.sweep_into(tmp_path / "b_store", family="grid")
+        newer = tmp_path / "future.json"
+        newer.write_text(json.dumps({"schema": 99, "entries": {}}))
+        capsys.readouterr()
+        assert main(
+            ["cache", "merge", "--out", str(tmp_path / "merged_store"),
+             str(tmp_path / "a_store"), str(tmp_path / "a_store"),
+             str(newer), str(tmp_path / "b_store")]
+        ) == 0
+        out = capsys.readouterr().out
+        # First pass adds, the duplicate pass keeps ours, the newer
+        # schema file is skipped with its reason — all reported.
+        assert "a_store: added 3 entries, kept ours for 0" in out
+        assert "a_store: added 0 entries, kept ours for 3" in out
+        assert "future.json: skipped (" in out
+        assert "schema 99" in out
+        assert "6 entries (store schema 3" in out
+        assert "1 input(s) skipped" in out
+
+    def test_merge_fails_when_every_input_skipped(self, tmp_path, capsys):
+        import json
+
+        newer = tmp_path / "future.json"
+        newer.write_text(json.dumps({"schema": 99, "entries": {}}))
+        assert main(
+            ["cache", "merge", "--out", str(tmp_path / "out.json"),
+             str(newer)]
+        ) == 2
+
+    def test_stats_store_fields(self, tmp_path, capsys):
+        import json
+
+        self.sweep_into(tmp_path / "st")
+        capsys.readouterr()
+        assert main(["cache", "stats", str(tmp_path / "st"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 3
+        assert payload["entries"] == 3
+        store = payload["store"]
+        assert store["segments"] == 1
+        assert store["live_entries"] == 3
+        assert store["dead_records"] == 0
+        assert store["store_bytes"] > 0
+        assert store["oldest_entry_age"] >= store["newest_entry_age"] >= 0
+
+    def test_compact_gc_segments_flow(self, tmp_path, capsys):
+        import json
+
+        self.sweep_into(tmp_path / "st", count=4)
+        capsys.readouterr()
+        export = tmp_path / "warm.json"
+        assert main(
+            ["cache", "compact", str(tmp_path / "st"), "--max-entries", "2",
+             "--export", str(export), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kept_entries"] == 2
+        assert report["dropped_entries"] == 2
+        assert report["segments_after"] == 1
+        # The export is a schema-2 warm-start file with the survivors.
+        warm = json.loads(export.read_text(encoding="utf-8"))
+        assert warm["schema"] == 2
+        assert len(warm["entries"]) == 2
+
+        assert main(["cache", "segments", str(tmp_path / "st"), "--json"]) == 0
+        segments = json.loads(capsys.readouterr().out)["segments"]
+        assert len(segments) == 1
+        assert segments[0]["sealed"] is True
+        assert segments[0]["puts"] == 2
+
+        assert main(["cache", "gc", str(tmp_path / "st")]) == 0
+        assert "kept 2 entries" in capsys.readouterr().out
+
+    def test_compact_policy_comes_from_config_flags_win(self, tmp_path,
+                                                        capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES", raising=False)
+        self.sweep_into(tmp_path / "st", count=4)
+        config = tmp_path / "repro.toml"
+        config.write_text("[cache]\nmax_entries = 3\n")
+        capsys.readouterr()
+        assert main(
+            ["--config", str(config), "cache", "compact", str(tmp_path / "st"),
+             "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["kept_entries"] == 3
+        assert main(
+            ["--config", str(config), "cache", "compact", str(tmp_path / "st"),
+             "--max-entries", "1", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["kept_entries"] == 1
+
+    def test_compact_env_beats_file(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        self.sweep_into(tmp_path / "st", count=4)
+        config = tmp_path / "repro.toml"
+        config.write_text("[cache]\nmax_entries = 3\n")
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "2")
+        capsys.readouterr()
+        assert main(
+            ["--config", str(config), "cache", "compact", str(tmp_path / "st"),
+             "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["kept_entries"] == 2
+
+    def test_store_tools_reject_non_store_directories(self, tmp_path):
+        (tmp_path / "plain").mkdir()
+        assert main(["cache", "compact", str(tmp_path / "plain")]) == 2
+        assert main(["cache", "segments", str(tmp_path / "plain")]) == 2
+
+
 class TestStreamMode:
     def write_ops(self, tmp_path, text):
         path = tmp_path / "ops.txt"

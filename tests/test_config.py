@@ -29,7 +29,14 @@ from repro.exec.remote import RemoteExecutor
 @pytest.fixture(autouse=True)
 def _clean_env(monkeypatch):
     """Config tests must not inherit the invoking shell's knobs."""
-    for var in (REPRO_CONFIG_ENV, "REPRO_BACKEND", "REPRO_COST_PROFILE"):
+    for var in (
+        REPRO_CONFIG_ENV,
+        "REPRO_BACKEND",
+        "REPRO_COST_PROFILE",
+        "REPRO_CACHE_MAX_ENTRIES",
+        "REPRO_CACHE_MAX_BYTES",
+        "REPRO_CACHE_MAX_AGE",
+    ):
         monkeypatch.delenv(var, raising=False)
 
 
@@ -51,6 +58,10 @@ warm_start = ["a.json", "b.json"]
 workers = ["http://w1:8101/", "http://w2:8102"]
 dispatch = "block"
 max_shard = 3
+
+[cache]
+max_entries = 5000
+max_age = 86400.0
 """
 
 
@@ -73,7 +84,7 @@ class TestDefaults:
 
     def test_to_dict_is_jsonable(self):
         payload = load_config().to_dict()
-        assert set(payload) == {"engine", "serve", "remote", "source"}
+        assert set(payload) == {"engine", "serve", "remote", "cache", "source"}
         json.dumps(payload)  # must not raise
 
 
@@ -92,6 +103,9 @@ class TestFileLoading:
         assert config.remote.workers == ("http://w1:8101", "http://w2:8102")
         assert config.remote.dispatch == "block"
         assert config.remote.max_shard == 3
+        assert config.cache.max_entries == 5000
+        assert config.cache.max_age == 86400.0
+        assert config.cache.max_bytes is None  # unbounded default
 
     def test_json_equivalent(self, tmp_path):
         path = tmp_path / "repro.json"
@@ -151,6 +165,8 @@ class TestStrictness:
             ("serve", {"retry_after": "soon"}, "serve.retry_after must be a number"),
             ("remote", {"workers": 8101}, "remote.workers must be a list"),
             ("remote", {"dispatch": "chunked"}, "remote.dispatch must be one of"),
+            ("cache", {"max_entries": "many"}, "cache.max_entries must be an integer"),
+            ("cache", {"max_age": "soon"}, "cache.max_age must be a number"),
         ],
     )
     def test_wrong_types_rejected(self, tmp_path, section, body, match):
@@ -188,6 +204,23 @@ class TestPrecedence:
     def test_merged_validates_flag_values(self):
         with pytest.raises(ConfigError, match="serve.port must be an integer"):
             load_config().merged(serve={"port": "eight"})
+
+    def test_cache_env_beats_file_and_flags_beat_env(self, tmp_path,
+                                                     monkeypatch):
+        path = write_toml(tmp_path)  # [cache] max_entries = 5000
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "1000")
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        config = load_config(path)
+        assert config.cache.max_entries == 1000   # env beat the file
+        assert config.cache.max_bytes == 4096     # env beat the default
+        assert config.cache.max_age == 86400.0    # file beat the default
+        merged = config.merged(cache={"max_entries": 10})
+        assert merged.cache.max_entries == 10     # flag beat the env
+
+    def test_cache_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "many")
+        with pytest.raises(ConfigError, match="REPRO_CACHE_MAX_ENTRIES"):
+            load_config()
 
     def test_workers_accept_comma_separated_string(self):
         config = load_config().merged(

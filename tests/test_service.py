@@ -16,6 +16,7 @@ import pytest
 
 from repro.api import default_registry, solve
 from repro.errors import GraphError, ServiceError
+from repro.exec import ResultCache
 from repro.graphs import (
     WeightedGraph,
     graph_from_json,
@@ -171,6 +172,20 @@ class TestDispatch:
             "hits": 0, "misses": 0, "memory_entries": 0, "disk_entries": 0,
         }
         assert payload["solvers"] == len(default_registry())
+
+    def test_health_reports_store_counters(self, tmp_path):
+        # With the cache persisted to a segment-store directory, the
+        # store's segment/compaction counters ride along in /healthz.
+        service = ReproService(cache=ResultCache(path=tmp_path / "store"))
+        post(service, "/solve", {"graph": graph_to_json(small_graph())})
+        status, payload = service.dispatch("GET", "/healthz", b"")
+        assert status == 200
+        cache = payload["cache"]
+        assert cache["disk_entries"] == 1
+        assert cache["segments"] == 1
+        assert cache["live_entries"] == 1
+        assert cache["compactions"] == 0
+        assert cache["store_bytes"] > 0
 
     def test_solvers_listing(self):
         service = ReproService()
